@@ -1,0 +1,188 @@
+//! Top-10 supercomputer memory configurations, the DDR/HBM cost model
+//! (Table 1) and the memory-evolution timeline (Figure 1).
+//!
+//! The data is embedded from the paper's Table 1 (November 2022 Top500 list);
+//! the cost model reproduces the paper's estimation procedure: a baseline DDR
+//! price per GiB with HBM at 3–5× the DDR unit price.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory configuration of one system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// System name.
+    pub name: &'static str,
+    /// Top500 rank (November 2022).
+    pub rank: u32,
+    /// Year the system (or its memory generation) entered the list.
+    pub year: u32,
+    /// DDR capacity per node in GiB (0 if none).
+    pub ddr_per_node_gib: u64,
+    /// HBM capacity per node in GiB (0 if none).
+    pub hbm_per_node_gib: u64,
+    /// HBM bandwidth per node in TB/s.
+    pub hbm_bw_per_node_tbs: f64,
+    /// Number of compute nodes.
+    pub nodes: u64,
+}
+
+impl SystemSpec {
+    /// Total DDR capacity of the system in GiB.
+    pub fn total_ddr_gib(&self) -> u64 {
+        self.ddr_per_node_gib * self.nodes
+    }
+
+    /// Total HBM capacity of the system in GiB.
+    pub fn total_hbm_gib(&self) -> u64 {
+        self.hbm_per_node_gib * self.nodes
+    }
+}
+
+/// Cost estimate for one system (Table 1's last two columns).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// System name.
+    pub name: &'static str,
+    /// Estimated DDR cost in million USD.
+    pub ddr_cost_musd: f64,
+    /// Estimated HBM cost in million USD.
+    pub hbm_cost_musd: f64,
+}
+
+/// One point of the memory-evolution timeline (Figure 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryTrendPoint {
+    /// Year.
+    pub year: u32,
+    /// Representative leadership system of that year.
+    pub system: &'static str,
+    /// Memory capacity per node in GiB (all tiers).
+    pub capacity_per_node_gib: u64,
+    /// Memory bandwidth per node in GB/s (all tiers).
+    pub bandwidth_per_node_gbs: f64,
+}
+
+/// The Top-10 systems of the paper's Table 1.
+pub fn top10_systems() -> Vec<SystemSpec> {
+    vec![
+        SystemSpec { name: "Frontier", rank: 1, year: 2022, ddr_per_node_gib: 512, hbm_per_node_gib: 512, hbm_bw_per_node_tbs: 12.8, nodes: 9_408 },
+        SystemSpec { name: "Fugaku", rank: 2, year: 2020, ddr_per_node_gib: 0, hbm_per_node_gib: 32, hbm_bw_per_node_tbs: 1.0, nodes: 158_976 },
+        SystemSpec { name: "LUMI-G", rank: 3, year: 2022, ddr_per_node_gib: 512, hbm_per_node_gib: 512, hbm_bw_per_node_tbs: 12.8, nodes: 2_560 },
+        SystemSpec { name: "Leonardo", rank: 4, year: 2022, ddr_per_node_gib: 512, hbm_per_node_gib: 256, hbm_bw_per_node_tbs: 8.2, nodes: 3_456 },
+        SystemSpec { name: "Summit", rank: 5, year: 2018, ddr_per_node_gib: 512, hbm_per_node_gib: 96, hbm_bw_per_node_tbs: 5.4, nodes: 4_608 },
+        SystemSpec { name: "Sierra", rank: 6, year: 2018, ddr_per_node_gib: 256, hbm_per_node_gib: 64, hbm_bw_per_node_tbs: 3.6, nodes: 4_284 },
+        SystemSpec { name: "Sunway TaihuLight", rank: 7, year: 2016, ddr_per_node_gib: 32, hbm_per_node_gib: 0, hbm_bw_per_node_tbs: 0.0, nodes: 40_960 },
+        SystemSpec { name: "Perlmutter (GPU)", rank: 8, year: 2021, ddr_per_node_gib: 256, hbm_per_node_gib: 160, hbm_bw_per_node_tbs: 6.2, nodes: 1_536 },
+        SystemSpec { name: "Selene", rank: 9, year: 2020, ddr_per_node_gib: 1024, hbm_per_node_gib: 640, hbm_bw_per_node_tbs: 16.0, nodes: 280 },
+        SystemSpec { name: "Tianhe-2A", rank: 10, year: 2018, ddr_per_node_gib: 192, hbm_per_node_gib: 0, hbm_bw_per_node_tbs: 0.0, nodes: 16_000 },
+    ]
+}
+
+/// Default DDR price assumption in USD per GiB, chosen so that the estimates
+/// reproduce the magnitudes of Table 1 (e.g. ~$34M of DDR for Frontier).
+pub const DEFAULT_DDR_USD_PER_GIB: f64 = 7.0;
+
+/// Estimates memory costs with a DDR price per GiB and an HBM price multiplier
+/// (the paper uses 3–5×; Table 1's numbers correspond to roughly 4×).
+pub fn estimate_costs(
+    systems: &[SystemSpec],
+    ddr_usd_per_gib: f64,
+    hbm_multiplier: f64,
+) -> Vec<CostEstimate> {
+    assert!(ddr_usd_per_gib > 0.0 && hbm_multiplier >= 1.0);
+    systems
+        .iter()
+        .map(|s| CostEstimate {
+            name: s.name,
+            ddr_cost_musd: s.total_ddr_gib() as f64 * ddr_usd_per_gib / 1e6,
+            hbm_cost_musd: s.total_hbm_gib() as f64 * ddr_usd_per_gib * hbm_multiplier / 1e6,
+        })
+        .collect()
+}
+
+/// Memory capacity and bandwidth per node of leadership systems over the last
+/// 15 years (Figure 1).
+pub fn memory_evolution() -> Vec<MemoryTrendPoint> {
+    vec![
+        MemoryTrendPoint { year: 2008, system: "Roadrunner", capacity_per_node_gib: 16, bandwidth_per_node_gbs: 21.0 },
+        MemoryTrendPoint { year: 2010, system: "Jaguar", capacity_per_node_gib: 16, bandwidth_per_node_gbs: 25.6 },
+        MemoryTrendPoint { year: 2012, system: "Titan", capacity_per_node_gib: 38, bandwidth_per_node_gbs: 52.0 },
+        MemoryTrendPoint { year: 2013, system: "Tianhe-2", capacity_per_node_gib: 64, bandwidth_per_node_gbs: 102.0 },
+        MemoryTrendPoint { year: 2016, system: "Sunway TaihuLight", capacity_per_node_gib: 32, bandwidth_per_node_gbs: 136.0 },
+        MemoryTrendPoint { year: 2018, system: "Summit", capacity_per_node_gib: 608, bandwidth_per_node_gbs: 5_740.0 },
+        MemoryTrendPoint { year: 2020, system: "Fugaku", capacity_per_node_gib: 32, bandwidth_per_node_gbs: 1_024.0 },
+        MemoryTrendPoint { year: 2021, system: "Perlmutter", capacity_per_node_gib: 416, bandwidth_per_node_gbs: 6_400.0 },
+        MemoryTrendPoint { year: 2022, system: "Frontier", capacity_per_node_gib: 1024, bandwidth_per_node_gbs: 13_000.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_ten_systems_in_rank_order() {
+        let systems = top10_systems();
+        assert_eq!(systems.len(), 10);
+        for (i, s) in systems.iter().enumerate() {
+            assert_eq!(s.rank as usize, i + 1);
+        }
+        assert_eq!(systems[0].name, "Frontier");
+    }
+
+    #[test]
+    fn cost_estimates_match_paper_magnitudes() {
+        let systems = top10_systems();
+        let costs = estimate_costs(&systems, DEFAULT_DDR_USD_PER_GIB, 4.0);
+        let frontier = costs.iter().find(|c| c.name == "Frontier").unwrap();
+        // Paper: ~$34M DDR and ~$135M HBM for Frontier.
+        assert!((frontier.ddr_cost_musd - 34.0).abs() < 8.0, "{}", frontier.ddr_cost_musd);
+        assert!((frontier.hbm_cost_musd - 135.0).abs() < 30.0, "{}", frontier.hbm_cost_musd);
+        let fugaku = costs.iter().find(|c| c.name == "Fugaku").unwrap();
+        assert_eq!(fugaku.ddr_cost_musd, 0.0);
+        assert!((fugaku.hbm_cost_musd - 142.0).abs() < 35.0);
+    }
+
+    #[test]
+    fn hbm_price_multiplier_scales_hbm_only() {
+        let systems = top10_systems();
+        let low = estimate_costs(&systems, 7.0, 3.0);
+        let high = estimate_costs(&systems, 7.0, 5.0);
+        for (l, h) in low.iter().zip(&high) {
+            assert_eq!(l.ddr_cost_musd, h.ddr_cost_musd);
+            if l.hbm_cost_musd > 0.0 {
+                assert!((h.hbm_cost_musd / l.hbm_cost_musd - 5.0 / 3.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_evolution_shows_dramatic_growth() {
+        let trend = memory_evolution();
+        assert!(trend.len() >= 8);
+        for w in trend.windows(2) {
+            assert!(w[1].year >= w[0].year);
+        }
+        let first = trend.first().unwrap();
+        let last = trend.last().unwrap();
+        assert!(last.bandwidth_per_node_gbs > 100.0 * first.bandwidth_per_node_gbs);
+        assert!(last.capacity_per_node_gib > 10 * first.capacity_per_node_gib);
+    }
+
+    #[test]
+    fn eight_of_top_ten_use_multi_tier_memory() {
+        // The paper notes 8 of the top 10 use HBM+DDR style multi-tier memory
+        // (i.e. have an HBM tier).
+        let with_hbm = top10_systems()
+            .iter()
+            .filter(|s| s.hbm_per_node_gib > 0)
+            .count();
+        assert_eq!(with_hbm, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cost_model_rejects_bad_prices() {
+        let _ = estimate_costs(&top10_systems(), 0.0, 4.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 1: evolution of memory characteristics of leadership supercomputers
+//! over the past 15 years.
+
+use dismem_analysis::memory_evolution;
+use dismem_bench::{print_table, write_json, Row};
+
+fn main() {
+    let trend = memory_evolution();
+    let rows: Vec<Row> = trend
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{} ({})", p.year, p.system),
+                vec![
+                    format!("{} GiB", p.capacity_per_node_gib),
+                    format!("{:.0} GB/s", p.bandwidth_per_node_gbs),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 1 — memory capacity and bandwidth per node of leadership systems",
+        &["capacity/node", "bandwidth/node"],
+        &rows,
+    );
+
+    let first = trend.first().unwrap();
+    let last = trend.last().unwrap();
+    println!(
+        "\nGrowth over the period: capacity x{:.0}, bandwidth x{:.0} (the paper's point: both \
+         have increased dramatically, driving memory cost).",
+        last.capacity_per_node_gib as f64 / first.capacity_per_node_gib as f64,
+        last.bandwidth_per_node_gbs / first.bandwidth_per_node_gbs
+    );
+    write_json("fig01_memory_evolution", &trend);
+}

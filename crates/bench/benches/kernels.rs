@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the simulator and workload kernels
+//! themselves (simulation throughput, not simulated performance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dismem_sim::{Machine, MachineConfig};
+use dismem_trace::{MemoryEngine, TraceRecorder};
+use dismem_workloads::WorkloadKind;
+
+fn bench_cache_streaming(c: &mut Criterion) {
+    c.bench_function("sim/stream_4MiB_through_cache", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::scaled_testbed());
+            let a = m.alloc("A", "bench", 4 << 20);
+            m.phase_start("stream");
+            m.touch(a, 4 << 20);
+            m.read(a, 0, 4 << 20);
+            m.phase_end();
+            std::hint::black_box(m.finish().total_runtime_s)
+        })
+    });
+}
+
+fn bench_tiny_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/tiny_on_simulator");
+    for kind in WorkloadKind::all() {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let w = kind.instantiate_tiny();
+                let mut m = Machine::new(MachineConfig::test_config());
+                w.run(&mut m);
+                std::hint::black_box(m.finish().total.l2_lines_in)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_recorder(c: &mut Criterion) {
+    c.bench_function("trace/recorder_hypre_tiny", |b| {
+        b.iter(|| {
+            let w = WorkloadKind::Hypre.instantiate_tiny();
+            let mut rec = TraceRecorder::new();
+            w.run(&mut rec);
+            std::hint::black_box(rec.stats().bytes_read)
+        })
+    });
+}
+
+fn bench_retime(c: &mut Criterion) {
+    let w = WorkloadKind::Hypre.instantiate_tiny();
+    let config = MachineConfig::test_config()
+        .with_pooling(w.expected_footprint_bytes(), 0.5);
+    let mut m = Machine::new(config);
+    w.run(&mut m);
+    let report = m.finish();
+    c.bench_function("sim/retime_under_interference", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                report
+                    .retime(&dismem_sim::InterferenceProfile::Constant(0.3))
+                    .total_runtime_s,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache_streaming, bench_tiny_workloads, bench_trace_recorder, bench_retime
+}
+criterion_main!(benches);

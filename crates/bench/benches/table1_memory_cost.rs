@@ -1,0 +1,59 @@
+//! Table 1: memory configuration of the Top-10 supercomputers and estimated
+//! DDR/HBM cost (HBM at 3–5× the DDR unit price).
+
+use dismem_analysis::{estimate_costs, top10_systems, systems::DEFAULT_DDR_USD_PER_GIB};
+use dismem_bench::{print_table, write_json, Row};
+
+fn main() {
+    let systems = top10_systems();
+    let costs = estimate_costs(&systems, DEFAULT_DDR_USD_PER_GIB, 4.0);
+
+    let rows: Vec<Row> = systems
+        .iter()
+        .zip(&costs)
+        .map(|(s, c)| {
+            Row::new(
+                format!("#{} {}", s.rank, s.name),
+                vec![
+                    if s.ddr_per_node_gib > 0 {
+                        format!("{} GB", s.ddr_per_node_gib)
+                    } else {
+                        "-".to_string()
+                    },
+                    if s.hbm_per_node_gib > 0 {
+                        format!("{} GB", s.hbm_per_node_gib)
+                    } else {
+                        "-".to_string()
+                    },
+                    if s.hbm_bw_per_node_tbs > 0.0 {
+                        format!("{:.1} TB/s", s.hbm_bw_per_node_tbs)
+                    } else {
+                        "-".to_string()
+                    },
+                    format!("{}", s.nodes),
+                    if c.ddr_cost_musd > 0.0 {
+                        format!("${:.1} M", c.ddr_cost_musd)
+                    } else {
+                        "-".to_string()
+                    },
+                    if c.hbm_cost_musd > 0.0 {
+                        format!("${:.1} M", c.hbm_cost_musd)
+                    } else {
+                        "-".to_string()
+                    },
+                ],
+            )
+        })
+        .collect();
+
+    print_table(
+        "Table 1 — Top-10 memory configuration and estimated cost (HBM = 4x DDR unit price)",
+        &["DDR/node", "HBM/node", "HBM BW/node", "nodes", "est. DDR cost", "est. HBM cost"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference: Frontier ≈ $34M DDR / $135M HBM; Fugaku ≈ $142M HBM. The estimates \
+         above use ${DEFAULT_DDR_USD_PER_GIB}/GiB DDR and a 4x HBM multiplier."
+    );
+    write_json("table1_memory_cost", &costs);
+}

@@ -1,0 +1,59 @@
+//! Table 2: evaluated workloads, their parallelization, the paper's input
+//! problems, and the proxy inputs used by this reproduction (with their
+//! ~1:2:4 footprint ratio).
+
+use dismem_bench::{print_table, write_json, Row};
+use dismem_workloads::{InputScale, WorkloadKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Row {
+    workload: &'static str,
+    parallelization: &'static str,
+    paper_inputs: [&'static str; 3],
+    proxy_inputs: Vec<String>,
+    proxy_footprints_mib: Vec<f64>,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for kind in WorkloadKind::all() {
+        let mut proxy_inputs = Vec::new();
+        let mut footprints = Vec::new();
+        for scale in InputScale::all() {
+            let w = kind.instantiate(scale);
+            proxy_inputs.push(w.input_description());
+            footprints.push(w.expected_footprint_bytes() as f64 / (1 << 20) as f64);
+        }
+        let ratio2 = footprints[1] / footprints[0];
+        let ratio4 = footprints[2] / footprints[0];
+        rows.push(Row::new(
+            kind.name(),
+            vec![
+                kind.parallelization().to_string(),
+                format!("{:.0} MiB", footprints[0]),
+                format!("{:.0} MiB", footprints[1]),
+                format!("{:.0} MiB", footprints[2]),
+                format!("1 : {ratio2:.1} : {ratio4:.1}"),
+            ],
+        ));
+        json.push(Table2Row {
+            workload: kind.name(),
+            parallelization: kind.parallelization(),
+            paper_inputs: kind.paper_inputs(),
+            proxy_inputs,
+            proxy_footprints_mib: footprints,
+        });
+    }
+    print_table(
+        "Table 2 — evaluated workloads and proxy input problems (paper: three inputs of ~1:2:4 memory usage)",
+        &["parallelization", "x1 footprint", "x2 footprint", "x4 footprint", "ratio"],
+        &rows,
+    );
+    println!("\nOriginal paper inputs:");
+    for kind in WorkloadKind::all() {
+        println!("  {:<8} {}", kind.name(), kind.paper_inputs().join(" | "));
+    }
+    write_json("table2_workloads", &json);
+}

@@ -1,0 +1,148 @@
+//! Experiment-harness utilities: profiles, configuration, table printing and
+//! JSON result output.
+
+use dismem_sim::MachineConfig;
+use dismem_workloads::{InputScale, Workload, WorkloadKind};
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Whether the quick (smoke-test) profile is active (`DISMEM_QUICK=1`).
+pub fn is_quick() -> bool {
+    std::env::var("DISMEM_QUICK").map(|v| v == "1" || v.eq_ignore_ascii_case("true")) == Ok(true)
+}
+
+/// The machine configuration used for all experiments: the paper's testbed
+/// figures with caches scaled to the proxy workloads' footprints.
+pub fn base_config() -> MachineConfig {
+    MachineConfig::scaled_testbed()
+}
+
+/// Instantiates a workload for an experiment, honouring the quick profile.
+pub fn workload(kind: WorkloadKind, scale: InputScale) -> Box<dyn Workload> {
+    if is_quick() {
+        kind.instantiate_tiny()
+    } else {
+        kind.instantiate(scale)
+    }
+}
+
+/// Directory where JSON result copies are written.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("DISMEM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/dismem-results"));
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a serializable result next to the printed table.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  [results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// A row of a printed table: a label plus formatted cells.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label.
+    pub label: String,
+    /// Cell values, already formatted.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        Self {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// Prints a titled, column-aligned table with a header row.
+pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
+    println!();
+    println!("=== {title} ===");
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    let mut label_width = 0usize;
+    for row in rows {
+        label_width = label_width.max(row.label.len());
+        for (i, cell) in row.cells.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header: Vec<String> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+        .collect();
+    println!("{:<label_width$}  {}", "", header.join("  "));
+    for row in rows {
+        let cells: Vec<String> = row
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{:<label_width$}  {}", row.label, cells.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_detection() {
+        // Not set in the test environment by default.
+        std::env::remove_var("DISMEM_QUICK");
+        assert!(!is_quick());
+        std::env::set_var("DISMEM_QUICK", "1");
+        assert!(is_quick());
+        std::env::remove_var("DISMEM_QUICK");
+    }
+
+    #[test]
+    fn workload_instantiation_honours_quick() {
+        std::env::set_var("DISMEM_QUICK", "1");
+        let quick = workload(WorkloadKind::Hypre, InputScale::X4);
+        std::env::remove_var("DISMEM_QUICK");
+        let full = workload(WorkloadKind::Hypre, InputScale::X4);
+        assert!(quick.expected_footprint_bytes() < full.expected_footprint_bytes());
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[
+                Row::new("row1", vec!["1".into(), "2".into()]),
+                Row::new("longer-row", vec!["3".into()]),
+            ],
+        );
+    }
+
+    #[test]
+    fn json_writing_creates_file() {
+        std::env::set_var("DISMEM_RESULTS_DIR", std::env::temp_dir().join("dismem-test-results"));
+        write_json("harness-selftest", &vec![1, 2, 3]);
+        let path = results_dir().join("harness-selftest.json");
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+        std::env::remove_var("DISMEM_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,20 @@
+//! # dismem-bench
+//!
+//! Shared infrastructure for the experiment harnesses that regenerate every
+//! table and figure of the paper. Each harness lives in `benches/` as a
+//! `harness = false` bench target, so `cargo bench` reruns the whole
+//! evaluation and prints paper-vs-measured rows.
+//!
+//! Environment variables:
+//!
+//! * `DISMEM_QUICK=1` — run the experiments on tiny inputs (seconds instead of
+//!   minutes); useful for smoke-testing the harnesses.
+//! * `DISMEM_RESULTS_DIR` — where to write the JSON copies of the results
+//!   (defaults to `target/dismem-results`).
+
+pub mod harness;
+pub mod paper;
+
+pub use harness::{
+    base_config, is_quick, print_table, results_dir, workload, write_json, Row,
+};

@@ -1,0 +1,234 @@
+//! Optimization and deployment guidance derived from the quantitative study.
+//!
+//! The paper's methodology is explicitly not "yet another data-placement
+//! optimizer": its output is *where to spend effort* and *how to deploy*.
+//! This module encodes the decision rules spelled out in Sections 5 and 6:
+//!
+//! * If the remote access ratios of the dominant phases already sit between
+//!   the capacity-ratio and bandwidth-ratio reference points, there is little
+//!   to gain from placement tuning.
+//! * Phases far above the references — and the hot objects behind them — are
+//!   the optimization priority.
+//! * Applications with low interference sensitivity can lean on the pool and
+//!   use fewer nodes; highly sensitive ones should minimise pool exposure
+//!   (more nodes, or explicit local placement).
+
+use dismem_profiler::{Level2Report, Level3Report};
+use serde::{Deserialize, Serialize};
+
+/// Application-level data-placement priority.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementPriority {
+    /// Access ratios already match the tier design: don't spend effort here.
+    LittleOpportunity,
+    /// Placement tuning is worthwhile.
+    OptimizeDataPlacement {
+        /// Phases whose remote access ratio exceeds the bandwidth reference,
+        /// in the order they should be tackled.
+        phases: Vec<String>,
+        /// The hottest object residing mostly on the pool, if any — the
+        /// concrete candidate to move (the paper's `Parents` array in BFS).
+        hottest_remote_object: Option<String>,
+    },
+}
+
+/// System-level deployment advice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeploymentAdvice {
+    /// Low sensitivity: provision more capacity from the pool and use fewer
+    /// compute nodes.
+    LeveragePoolCapacity,
+    /// Moderate sensitivity: pooling is acceptable, but co-location should be
+    /// interference-aware.
+    BalancedWithInterferenceAwareScheduling,
+    /// High sensitivity: minimise pool exposure (scale out to more nodes or
+    /// pin hot data locally).
+    MinimisePoolExposure,
+}
+
+/// Combined guidance for one workload on one tier configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Guidance {
+    /// Application-level placement priority.
+    pub placement: PlacementPriority,
+    /// System-level deployment advice.
+    pub deployment: DeploymentAdvice,
+    /// The slowdown (percent) at the highest studied interference level that
+    /// the deployment advice is based on.
+    pub max_slowdown_percent: f64,
+    /// Human-readable notes explaining the decision.
+    pub notes: Vec<String>,
+}
+
+/// Sensitivity thresholds (percent slowdown at the highest LoI) separating
+/// the deployment regimes.
+pub const LOW_SENSITIVITY_PERCENT: f64 = 3.0;
+/// Above this slowdown the workload should avoid the pool where possible.
+pub const HIGH_SENSITIVITY_PERCENT: f64 = 10.0;
+
+/// Derives guidance from Level-2 and Level-3 reports of the same
+/// configuration.
+pub fn derive_guidance(level2: &Level2Report, level3: &Level3Report) -> Guidance {
+    let mut notes = Vec::new();
+
+    // Placement: compare phase access ratios with the two reference points.
+    let above_bw: Vec<String> = level2
+        .phases_above_bandwidth_ratio()
+        .iter()
+        .map(|p| p.label.clone())
+        .collect();
+    let spread = (level2.remote_bandwidth_ratio - level2.remote_capacity_ratio).abs();
+    let placement = if above_bw.is_empty() || spread < 0.05 {
+        notes.push(
+            "remote access ratios sit close to the capacity/bandwidth references; \
+             data-placement tuning has little headroom"
+                .to_string(),
+        );
+        PlacementPriority::LittleOpportunity
+    } else {
+        let hottest = level2.hottest_remote_object().map(|(name, _, _)| name.clone());
+        if let Some(obj) = &hottest {
+            notes.push(format!(
+                "object '{obj}' is heavily accessed but resides mostly on the pool; \
+                 consider allocating it locally (allocation order or explicit placement)"
+            ));
+        }
+        notes.push(format!(
+            "{} phase(s) exceed the bandwidth reference ratio of {:.0}%",
+            above_bw.len(),
+            level2.remote_bandwidth_ratio * 100.0
+        ));
+        PlacementPriority::OptimizeDataPlacement {
+            phases: above_bw,
+            hottest_remote_object: hottest,
+        }
+    };
+
+    // Deployment: driven by interference sensitivity.
+    let slowdown = level3.max_slowdown_percent();
+    let deployment = if slowdown < LOW_SENSITIVITY_PERCENT {
+        notes.push(format!(
+            "worst-case slowdown {slowdown:.1}% — the job can take capacity from the pool \
+             and reduce its node count"
+        ));
+        DeploymentAdvice::LeveragePoolCapacity
+    } else if slowdown < HIGH_SENSITIVITY_PERCENT {
+        notes.push(format!(
+            "worst-case slowdown {slowdown:.1}% — acceptable with interference-aware co-location"
+        ));
+        DeploymentAdvice::BalancedWithInterferenceAwareScheduling
+    } else {
+        notes.push(format!(
+            "worst-case slowdown {slowdown:.1}% — minimise remote memory exposure \
+             (more nodes or explicit local placement)"
+        ));
+        DeploymentAdvice::MinimisePoolExposure
+    };
+
+    Guidance {
+        placement,
+        deployment,
+        max_slowdown_percent: slowdown,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use self::helpers::*;
+
+    /// Minimal hand-built Level-2/Level-3 reports for rule testing.
+    mod helpers {
+        use dismem_profiler::level2::PhaseTierAccess;
+        use dismem_profiler::level3::SensitivityPoint;
+        use dismem_profiler::{Level2Report, Level3Report};
+
+        pub fn level2(remote_ratio: f64, phase_remote: f64) -> Level2Report {
+            Level2Report {
+                workload: "T".into(),
+                local_capacity_fraction: 0.5,
+                remote_capacity_ratio: remote_ratio,
+                remote_bandwidth_ratio: 0.32,
+                remote_access_ratio: phase_remote,
+                phases: vec![PhaseTierAccess {
+                    label: "T-p2".into(),
+                    phase: "p2".into(),
+                    bytes_local: ((1.0 - phase_remote) * 1e6) as u64,
+                    bytes_remote: (phase_remote * 1e6) as u64,
+                    remote_access_ratio: phase_remote,
+                    arithmetic_intensity: 0.5,
+                }],
+                object_remote_ratios: vec![("hot-array".into(), phase_remote, 1000)],
+            }
+        }
+
+        pub fn level3(max_slowdown_percent: f64) -> Level3Report {
+            let rel = 1.0 - max_slowdown_percent / 100.0;
+            Level3Report {
+                workload: "T".into(),
+                local_capacity_fraction: 0.5,
+                sensitivity: vec![
+                    SensitivityPoint {
+                        loi_percent: 0.0,
+                        relative_performance: 1.0,
+                        runtime_s: 1.0,
+                    },
+                    SensitivityPoint {
+                        loi_percent: 50.0,
+                        relative_performance: rel,
+                        runtime_s: 1.0 / rel,
+                    },
+                ],
+                compute_phase_sensitivity: vec![],
+                remote_access_ratio: 0.5,
+                arithmetic_intensity: 0.5,
+            }
+        }
+    }
+
+    #[test]
+    fn high_remote_access_triggers_placement_optimization() {
+        let g = derive_guidance(&level2(0.5, 0.95), &level3(5.0));
+        match g.placement {
+            PlacementPriority::OptimizeDataPlacement {
+                phases,
+                hottest_remote_object,
+            } => {
+                assert_eq!(phases, vec!["T-p2".to_string()]);
+                assert_eq!(hottest_remote_object.as_deref(), Some("hot-array"));
+            }
+            other => panic!("expected placement optimization, got {other:?}"),
+        }
+        assert!(!g.notes.is_empty());
+    }
+
+    #[test]
+    fn matched_ratios_mean_little_opportunity() {
+        // Remote access below the bandwidth reference: nothing to do.
+        let g = derive_guidance(&level2(0.25, 0.20), &level3(5.0));
+        assert_eq!(g.placement, PlacementPriority::LittleOpportunity);
+    }
+
+    #[test]
+    fn deployment_advice_follows_sensitivity() {
+        assert_eq!(
+            derive_guidance(&level2(0.25, 0.2), &level3(1.0)).deployment,
+            DeploymentAdvice::LeveragePoolCapacity
+        );
+        assert_eq!(
+            derive_guidance(&level2(0.25, 0.2), &level3(6.0)).deployment,
+            DeploymentAdvice::BalancedWithInterferenceAwareScheduling
+        );
+        assert_eq!(
+            derive_guidance(&level2(0.25, 0.2), &level3(15.0)).deployment,
+            DeploymentAdvice::MinimisePoolExposure
+        );
+    }
+
+    #[test]
+    fn slowdown_is_recorded() {
+        let g = derive_guidance(&level2(0.25, 0.2), &level3(7.5));
+        assert!((g.max_slowdown_percent - 7.5).abs() < 0.2);
+    }
+}

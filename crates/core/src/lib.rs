@@ -1,0 +1,35 @@
+//! # dismem-core
+//!
+//! The paper's primary contribution as a library: a three-level quantitative
+//! methodology for dissecting an application's requirements on the memory
+//! system, from general characteristics, to multi-tier memory, to memory
+//! pooling — plus the decision guidance and the application-level case study
+//! built on top of it.
+//!
+//! The intended entry point is [`QuantitativeStudy`]:
+//!
+//! ```
+//! use dismem_core::QuantitativeStudy;
+//! use dismem_sim::MachineConfig;
+//! use dismem_workloads::WorkloadKind;
+//!
+//! let study = QuantitativeStudy::new(
+//!     WorkloadKind::Hypre.instantiate_tiny(),
+//!     MachineConfig::test_config(),
+//! );
+//! let level1 = study.level1();
+//! let level2 = study.level2(0.5);
+//! let level3 = study.level3(0.5, &[0.0, 25.0, 50.0]);
+//! let guidance = dismem_core::derive_guidance(&level2, &level3);
+//! assert!(!level1.phases.is_empty());
+//! assert!(level3.worst_case_performance() <= 1.0);
+//! let _ = guidance;
+//! ```
+
+pub mod case_bfs;
+pub mod guidance;
+pub mod study;
+
+pub use case_bfs::{bfs_placement_study, BfsCaseStudy, BfsVariantResult};
+pub use guidance::{derive_guidance, DeploymentAdvice, Guidance, PlacementPriority};
+pub use study::{QuantitativeStudy, StudyReport};

@@ -1,0 +1,173 @@
+//! The three-level quantitative study facade.
+
+use crate::guidance::{derive_guidance, Guidance};
+use dismem_lbench::{app_interference_coefficient, LBenchModel};
+use dismem_profiler::level1::{level1_profile, Level1Report};
+use dismem_profiler::level2::{level2_profile, Level2Report};
+use dismem_profiler::level3::{level3_profile, Level3Report, PAPER_LOI_LEVELS};
+use dismem_profiler::{pooled_config, run_workload, RunOptions};
+use dismem_sim::{MachineConfig, RunReport};
+use dismem_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// A complete study of one workload on one machine: all three levels plus the
+/// derived guidance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// Workload name.
+    pub workload: String,
+    /// Level 1: general characteristics.
+    pub level1: Level1Report,
+    /// Level 2 at each requested local-capacity fraction.
+    pub level2: Vec<Level2Report>,
+    /// Level 3 at each requested local-capacity fraction.
+    pub level3: Vec<Level3Report>,
+    /// Interference coefficient of the workload (whole run) at each fraction.
+    pub interference_coefficient: Vec<f64>,
+    /// Guidance derived from the smallest local-capacity configuration.
+    pub guidance: Guidance,
+}
+
+/// Driver for the paper's three-level, top-down methodology on one workload.
+pub struct QuantitativeStudy {
+    workload: Box<dyn Workload>,
+    base_config: MachineConfig,
+}
+
+impl QuantitativeStudy {
+    /// Creates a study for a workload on a machine configuration.
+    pub fn new(workload: Box<dyn Workload>, base_config: MachineConfig) -> Self {
+        Self {
+            workload,
+            base_config,
+        }
+    }
+
+    /// Name of the studied workload.
+    pub fn workload_name(&self) -> &str {
+        self.workload.name()
+    }
+
+    /// The machine configuration the study uses.
+    pub fn config(&self) -> &MachineConfig {
+        &self.base_config
+    }
+
+    /// Level 1: general characteristics (roofline points, footprint, scaling
+    /// curve, prefetch suitability). Runs on node-local memory only.
+    pub fn level1(&self) -> Level1Report {
+        level1_profile(self.workload.as_ref(), &self.base_config)
+    }
+
+    /// Level 2: tier access ratios when the local tier holds `local_fraction`
+    /// of the footprint.
+    pub fn level2(&self, local_fraction: f64) -> Level2Report {
+        level2_profile(self.workload.as_ref(), &self.base_config, local_fraction)
+    }
+
+    /// Level 3: interference sensitivity for the given LoI levels (percent).
+    pub fn level3(&self, local_fraction: f64, loi_percent_levels: &[f64]) -> Level3Report {
+        level3_profile(
+            self.workload.as_ref(),
+            &self.base_config,
+            local_fraction,
+            loi_percent_levels,
+        )
+    }
+
+    /// Raw pooled run report (useful for scheduling campaigns and custom
+    /// analyses).
+    pub fn pooled_run(&self, local_fraction: f64) -> RunReport {
+        let config = pooled_config(&self.base_config, self.workload.as_ref(), local_fraction);
+        run_workload(self.workload.as_ref(), &RunOptions::new(config))
+    }
+
+    /// Interference coefficient the workload induces on the pool at the given
+    /// local-capacity fraction.
+    pub fn interference_coefficient(&self, local_fraction: f64) -> f64 {
+        let report = self.pooled_run(local_fraction);
+        let model = LBenchModel::from_config(&self.base_config);
+        app_interference_coefficient(&report, &model, self.workload.name())
+            .0
+            .coefficient
+    }
+
+    /// Runs the full three-level study across a set of local-capacity
+    /// fractions (the paper uses 0.75, 0.50 and 0.25).
+    pub fn full_study(&self, local_fractions: &[f64]) -> StudyReport {
+        assert!(!local_fractions.is_empty());
+        let level1 = self.level1();
+        let level2: Vec<Level2Report> = local_fractions.iter().map(|&f| self.level2(f)).collect();
+        let level3: Vec<Level3Report> = local_fractions
+            .iter()
+            .map(|&f| self.level3(f, &PAPER_LOI_LEVELS))
+            .collect();
+        let interference_coefficient = local_fractions
+            .iter()
+            .map(|&f| self.interference_coefficient(f))
+            .collect();
+        // Guidance from the most pool-heavy configuration studied.
+        let (tightest_idx, _) = local_fractions
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let guidance = derive_guidance(&level2[tightest_idx], &level3[tightest_idx]);
+        StudyReport {
+            workload: self.workload.name().to_string(),
+            level1,
+            level2,
+            level3,
+            interference_coefficient,
+            guidance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_workloads::WorkloadKind;
+
+    fn study(kind: WorkloadKind) -> QuantitativeStudy {
+        QuantitativeStudy::new(kind.instantiate_tiny(), MachineConfig::test_config())
+    }
+
+    #[test]
+    fn full_study_produces_all_levels() {
+        let s = study(WorkloadKind::Hypre);
+        let report = s.full_study(&[0.75, 0.25]);
+        assert_eq!(report.workload, "Hypre");
+        assert_eq!(report.level2.len(), 2);
+        assert_eq!(report.level3.len(), 2);
+        assert_eq!(report.interference_coefficient.len(), 2);
+        assert!(!report.level1.phases.is_empty());
+        // Less local capacity means more remote access and more sensitivity.
+        assert!(report.level2[1].remote_access_ratio >= report.level2[0].remote_access_ratio);
+        assert!(report.interference_coefficient.iter().all(|&ic| ic >= 1.0));
+    }
+
+    #[test]
+    fn pooled_run_respects_fraction() {
+        let s = study(WorkloadKind::Bfs);
+        let run = s.pooled_run(0.25);
+        assert!(run.remote_capacity_ratio() > 0.4);
+        assert!(run.total_runtime_s > 0.0);
+        assert_eq!(s.workload_name(), "BFS");
+    }
+
+    #[test]
+    fn interference_coefficient_larger_for_pool_heavy_configs() {
+        let s = study(WorkloadKind::Hypre);
+        let ic_tight = s.interference_coefficient(0.25);
+        let ic_roomy = s.interference_coefficient(1.0);
+        assert!(ic_tight >= ic_roomy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_study_rejects_empty_fractions() {
+        let s = study(WorkloadKind::Hpl);
+        let _ = s.full_study(&[]);
+    }
+}

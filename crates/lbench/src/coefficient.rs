@@ -1,0 +1,86 @@
+//! Interference coefficient of an application (Section 6.2).
+//!
+//! The paper measures how much interference an application *causes* by
+//! co-running it with a one-thread, one-flop LBench probe and reporting the
+//! probe's relative runtime (`IC = T / T_idle`). In the simulator the
+//! application's raw link traffic rate is known directly from its run report,
+//! so the probe slowdown follows from the same contention model used for
+//! LBench-on-LBench measurements.
+
+use crate::model::LBenchModel;
+use dismem_sim::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Interference coefficient of one application phase or run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceCoefficient {
+    /// Label ("Hypre", "Hypre-p2", ...).
+    pub label: String,
+    /// Raw link traffic rate the application sustains, in GB/s.
+    pub link_traffic_gbs: f64,
+    /// The coefficient: relative runtime of the co-running probe.
+    pub coefficient: f64,
+}
+
+/// Computes the interference coefficient of a whole application run and of
+/// each of its phases, from a report obtained on a pooled configuration.
+pub fn app_interference_coefficient(
+    report: &RunReport,
+    model: &LBenchModel,
+    label: &str,
+) -> (InterferenceCoefficient, Vec<InterferenceCoefficient>) {
+    let whole = InterferenceCoefficient {
+        label: label.to_string(),
+        link_traffic_gbs: report.link_traffic_gbs(),
+        coefficient: model.interference_coefficient(report.link_traffic_gbs() * 1e9),
+    };
+    let phases = report
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(i, p)| InterferenceCoefficient {
+            label: format!("{label}-p{}", i + 1),
+            link_traffic_gbs: p.link_traffic_gbs(),
+            coefficient: model.interference_coefficient(p.link_traffic_gbs() * 1e9),
+        })
+        .collect();
+    (whole, phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_sim::{Machine, MachineConfig};
+    use dismem_workloads::WorkloadKind;
+
+    fn pooled_report(kind: WorkloadKind, local_fraction: f64) -> RunReport {
+        let w = kind.instantiate_tiny();
+        let config = MachineConfig::test_config()
+            .with_pooling(w.expected_footprint_bytes(), local_fraction);
+        let mut machine = Machine::new(config);
+        w.run(&mut machine);
+        machine.finish()
+    }
+
+    #[test]
+    fn pool_heavy_app_causes_more_interference_than_local_app() {
+        let model = LBenchModel::from_config(&MachineConfig::test_config());
+        let pooled = pooled_report(WorkloadKind::Hypre, 0.25);
+        let local = pooled_report(WorkloadKind::Hypre, 1.0);
+        let (ic_pooled, _) = app_interference_coefficient(&pooled, &model, "Hypre");
+        let (ic_local, _) = app_interference_coefficient(&local, &model, "Hypre");
+        assert!(ic_pooled.coefficient >= ic_local.coefficient);
+        assert!(ic_local.coefficient >= 1.0);
+        assert!(ic_pooled.link_traffic_gbs > ic_local.link_traffic_gbs);
+    }
+
+    #[test]
+    fn per_phase_coefficients_are_labelled() {
+        let model = LBenchModel::from_config(&MachineConfig::test_config());
+        let report = pooled_report(WorkloadKind::Hpl, 0.5);
+        let (_, phases) = app_interference_coefficient(&report, &model, "HPL");
+        assert_eq!(phases.len(), report.phases.len());
+        assert_eq!(phases[0].label, "HPL-p1");
+        assert!(phases.iter().all(|p| p.coefficient >= 1.0));
+    }
+}

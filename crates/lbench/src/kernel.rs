@@ -1,0 +1,216 @@
+//! The LBench kernel as a runnable workload.
+//!
+//! The paper's benchmark allocates an array on the memory pool and runs a
+//! dependent multiply-add chain over it:
+//!
+//! ```c
+//! if (NFLOP % 2 == 1) beta = A[i] + alpha;
+//! const int NLOOP = NFLOP / 2;
+//! #pragma GCC unroll 16
+//! for (int k = 0; k < NLOOP; k++)
+//!     beta = beta * A[i] + alpha;
+//! A[i] = beta;
+//! ```
+//!
+//! The level of interference it injects is tuned by `NFLOP` (more flops per
+//! element means less link traffic per unit time).
+
+use dismem_trace::{AccessKind, MemoryEngine, PlacementPolicy};
+use dismem_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// LBench configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LBenchParams {
+    /// Size of the pool-resident array in bytes.
+    pub array_bytes: u64,
+    /// Floating-point operations per array element (`NFLOP`).
+    pub flops_per_element: u64,
+    /// Number of generator threads (informational; throughput scaling is
+    /// handled by [`crate::model::LBenchModel`]).
+    pub threads: u32,
+    /// Number of sweeps over the array.
+    pub iterations: u32,
+}
+
+impl Default for LBenchParams {
+    fn default() -> Self {
+        Self {
+            array_bytes: 64 << 20,
+            flops_per_element: 1,
+            threads: 2,
+            iterations: 4,
+        }
+    }
+}
+
+impl LBenchParams {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            array_bytes: 1 << 20,
+            flops_per_element: 1,
+            threads: 1,
+            iterations: 2,
+        }
+    }
+
+    /// Number of 8-byte elements in the array.
+    pub fn elements(&self) -> u64 {
+        self.array_bytes / 8
+    }
+}
+
+/// The LBench workload.
+#[derive(Debug, Clone)]
+pub struct LBenchKernel {
+    params: LBenchParams,
+}
+
+impl LBenchKernel {
+    /// Creates the benchmark.
+    pub fn new(params: LBenchParams) -> Self {
+        assert!(params.array_bytes >= 4096, "array too small to be meaningful");
+        assert!(params.iterations > 0);
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &LBenchParams {
+        &self.params
+    }
+}
+
+impl Workload for LBenchKernel {
+    fn name(&self) -> &'static str {
+        "LBench"
+    }
+
+    fn description(&self) -> &'static str {
+        "Interference injection and measurement benchmark for the memory-pool link"
+    }
+
+    fn parallelization(&self) -> &'static str {
+        "OpenMP"
+    }
+
+    fn input_description(&self) -> String {
+        format!(
+            "{} MiB pool array, {} flops/element, {} threads, {} iterations",
+            self.params.array_bytes >> 20,
+            self.params.flops_per_element,
+            self.params.threads,
+            self.params.iterations
+        )
+    }
+
+    fn expected_footprint_bytes(&self) -> u64 {
+        self.params.array_bytes
+    }
+
+    fn run(&self, engine: &mut dyn MemoryEngine) {
+        let p = &self.params;
+        // The array lives on the memory pool (the whole point of the
+        // benchmark is to stress the pool link).
+        let array = engine.alloc_with_policy(
+            "lbench-array",
+            "lbench.rs:alloc",
+            p.array_bytes,
+            PlacementPolicy::ForceRemote,
+        );
+
+        engine.phase_start("p1-init");
+        engine.touch(array, p.array_bytes);
+        engine.phase_end();
+
+        engine.phase_start("p2-kernel");
+        // Sweep the array in large sequential slices; each element is read,
+        // processed with the FMA chain and written back.
+        const SLICE: u64 = 1 << 20;
+        for _ in 0..p.iterations {
+            let mut offset = 0;
+            while offset < p.array_bytes {
+                let len = SLICE.min(p.array_bytes - offset);
+                engine.access(array, offset, len, AccessKind::Read);
+                engine.access(array, offset, len, AccessKind::Write);
+                engine.flops((len / 8) * p.flops_per_element);
+                offset += len;
+            }
+        }
+        engine.phase_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_sim::{Machine, MachineConfig};
+    use dismem_trace::TraceRecorder;
+
+    #[test]
+    fn flops_scale_with_nflop() {
+        let run = |nflop| {
+            let k = LBenchKernel::new(LBenchParams {
+                flops_per_element: nflop,
+                ..LBenchParams::tiny()
+            });
+            let mut rec = TraceRecorder::new();
+            k.run(&mut rec);
+            rec.stats().total_flops
+        };
+        let f1 = run(1);
+        let f8 = run(8);
+        assert_eq!(f8, 8 * f1);
+    }
+
+    #[test]
+    fn array_lands_on_the_pool() {
+        let k = LBenchKernel::new(LBenchParams::tiny());
+        let mut m = Machine::new(MachineConfig::test_config());
+        k.run(&mut m);
+        let report = m.finish();
+        assert!(report.remote_access_ratio() > 0.99);
+        assert!(report.total.link_raw_bytes > 0);
+        assert!(report.measured_loi() > 0.0);
+    }
+
+    #[test]
+    fn traffic_scales_with_iterations() {
+        let run = |iterations| {
+            let k = LBenchKernel::new(LBenchParams {
+                iterations,
+                ..LBenchParams::tiny()
+            });
+            let mut rec = TraceRecorder::new();
+            k.run(&mut rec);
+            let s = rec.stats();
+            s.phases[1].bytes_read + s.phases[1].bytes_written
+        };
+        assert_eq!(run(4), 2 * run(2));
+    }
+
+    #[test]
+    fn higher_nflop_means_lower_injected_loi() {
+        // More compute per element throttles the link traffic rate.
+        let loi = |nflop| {
+            let k = LBenchKernel::new(LBenchParams {
+                flops_per_element: nflop,
+                array_bytes: 4 << 20,
+                ..LBenchParams::tiny()
+            });
+            let mut m = Machine::new(MachineConfig::test_config());
+            k.run(&mut m);
+            m.finish().measured_loi()
+        };
+        assert!(loi(1) > loi(256));
+    }
+
+    #[test]
+    #[should_panic(expected = "array too small")]
+    fn rejects_degenerate_array() {
+        let _ = LBenchKernel::new(LBenchParams {
+            array_bytes: 8,
+            ..LBenchParams::tiny()
+        });
+    }
+}

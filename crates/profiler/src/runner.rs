@@ -1,0 +1,126 @@
+//! Helpers for running workloads on configured machines.
+
+use dismem_sim::{InterferenceProfile, Machine, MachineConfig, RunReport};
+use dismem_workloads::Workload;
+
+/// Options for a single profiling run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Machine configuration (tier capacities, cache, prefetcher, ...).
+    pub config: MachineConfig,
+    /// Background interference on the pool link.
+    pub interference: InterferenceProfile,
+    /// Whether the hardware prefetcher is enabled (overrides the config).
+    pub prefetch: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            config: MachineConfig::skylake_testbed(),
+            interference: InterferenceProfile::Idle,
+            prefetch: true,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Run options for a given machine configuration with an idle pool.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the interference profile.
+    pub fn with_interference(mut self, interference: InterferenceProfile) -> Self {
+        self.interference = interference;
+        self
+    }
+
+    /// Enables or disables the hardware prefetcher.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+}
+
+/// Runs a workload on a freshly created machine and returns the report.
+pub fn run_workload(workload: &dyn Workload, options: &RunOptions) -> RunReport {
+    let mut config = options.config.clone();
+    config.prefetch.enabled = options.prefetch;
+    let mut machine = Machine::new(config);
+    machine.set_interference(options.interference.clone());
+    workload.run(&mut machine);
+    machine.finish()
+}
+
+/// Derives a pooling configuration from a base configuration and a workload:
+/// the local tier is capped at `local_fraction` of the workload's expected
+/// footprint, the rest of the footprint spills to the pool. This mirrors the
+/// paper's `setup_waste` step, which reserves node-local memory so that only
+/// 75 / 50 / 25 % of the application's peak usage fits locally.
+pub fn pooled_config(
+    base: &MachineConfig,
+    workload: &dyn Workload,
+    local_fraction: f64,
+) -> MachineConfig {
+    base.clone()
+        .with_pooling(workload.expected_footprint_bytes(), local_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_workloads::WorkloadKind;
+
+    fn test_base() -> MachineConfig {
+        MachineConfig::test_config()
+    }
+
+    #[test]
+    fn run_workload_produces_phases() {
+        let w = WorkloadKind::Hypre.instantiate_tiny();
+        let report = run_workload(w.as_ref(), &RunOptions::new(test_base()));
+        assert!(report.phases.len() >= 2);
+        assert!(report.total_runtime_s > 0.0);
+        assert_eq!(report.remote_access_ratio(), 0.0, "unbounded local tier");
+    }
+
+    #[test]
+    fn pooled_config_caps_local_tier() {
+        let w = WorkloadKind::Hypre.instantiate_tiny();
+        let cfg = pooled_config(&test_base(), w.as_ref(), 0.5);
+        let cap = cfg.local.capacity_bytes.unwrap();
+        let footprint = w.expected_footprint_bytes();
+        assert!(cap < footprint);
+        assert!(cap as f64 > 0.4 * footprint as f64);
+
+        let report = run_workload(w.as_ref(), &RunOptions::new(cfg));
+        assert!(report.remote_access_ratio() > 0.0);
+        assert!(report.remote_capacity_ratio() > 0.2);
+    }
+
+    #[test]
+    fn prefetch_option_is_respected() {
+        let w = WorkloadKind::Hpl.instantiate_tiny();
+        let with_pf = run_workload(w.as_ref(), &RunOptions::new(test_base()));
+        let without_pf =
+            run_workload(w.as_ref(), &RunOptions::new(test_base()).with_prefetch(false));
+        assert!(with_pf.total.pf_issued > 0);
+        assert_eq!(without_pf.total.pf_issued, 0);
+    }
+
+    #[test]
+    fn interference_option_slows_down_pooled_run() {
+        let w = WorkloadKind::Hypre.instantiate_tiny();
+        let cfg = pooled_config(&test_base(), w.as_ref(), 0.25);
+        let idle = run_workload(w.as_ref(), &RunOptions::new(cfg.clone()));
+        let busy = run_workload(
+            w.as_ref(),
+            &RunOptions::new(cfg).with_interference(InterferenceProfile::Constant(0.5)),
+        );
+        assert!(busy.total_runtime_s > idle.total_runtime_s);
+    }
+}

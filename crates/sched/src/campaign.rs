@@ -1,0 +1,237 @@
+//! Monte Carlo scheduling campaigns.
+//!
+//! A campaign re-evaluates one workload's profiled run under many randomly
+//! drawn interference schedules (one per simulated job placement) and collects
+//! the runtime distribution. Cache behaviour and data placement are fixed by
+//! the profiling run; only the timing reacts to the co-runners, so each
+//! trial is a cheap re-timing of the recorded timeline
+//! (see [`dismem_sim::RunReport::retime`]).
+
+use crate::policy::SchedulingPolicy;
+use dismem_analysis::{five_number_summary, mean, FiveNumberSummary};
+use dismem_sim::{InterferenceProfile, RunReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of runs per workload per policy (the paper uses 100).
+    pub runs: usize,
+    /// Number of interference epochs per run (the paper re-draws the level of
+    /// interference every 60 s; with the simulator's scaled-down runtimes the
+    /// epoch length is expressed as a fraction of the idle runtime instead).
+    pub epochs_per_run: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            runs: 100,
+            epochs_per_run: 8,
+            seed: 0xD15C,
+        }
+    }
+}
+
+/// Result of one campaign (one workload under one policy).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Workload name.
+    pub workload: String,
+    /// Scheduling policy.
+    pub policy: SchedulingPolicy,
+    /// Runtime of every trial, in seconds.
+    pub runtimes_s: Vec<f64>,
+    /// Five-number summary of the runtimes.
+    pub summary: FiveNumberSummary,
+    /// Mean runtime.
+    pub mean_s: f64,
+}
+
+/// Side-by-side comparison of the two policies for one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyComparison {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline (interference-oblivious) campaign.
+    pub baseline: CampaignResult,
+    /// Interference-aware campaign.
+    pub aware: CampaignResult,
+}
+
+impl PolicyComparison {
+    /// Mean speedup of the interference-aware policy over the baseline, in
+    /// percent (the paper reports 0–4 % depending on the workload).
+    pub fn mean_speedup_percent(&self) -> f64 {
+        if self.aware.mean_s == 0.0 {
+            return 0.0;
+        }
+        (self.baseline.mean_s / self.aware.mean_s - 1.0) * 100.0
+    }
+
+    /// Reduction of the 75th-percentile runtime in percent (the paper's
+    /// variability metric).
+    pub fn p75_reduction_percent(&self) -> f64 {
+        if self.baseline.summary.q3 == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.aware.summary.q3 / self.baseline.summary.q3) * 100.0
+    }
+}
+
+fn schedule_for_trial(
+    rng: &mut StdRng,
+    idle_runtime_s: f64,
+    epochs: usize,
+    max_loi: f64,
+) -> InterferenceProfile {
+    // Epochs are sized so the whole (possibly slowed-down) run sees several
+    // interference changes, as in the paper's 60-second epochs.
+    let epoch_len = idle_runtime_s * 2.0 / epochs as f64;
+    let epochs: Vec<(f64, f64)> = (0..epochs.max(1))
+        .map(|i| (i as f64 * epoch_len, rng.gen_range(0.0..=max_loi)))
+        .collect();
+    InterferenceProfile::schedule(epochs)
+}
+
+/// Runs a campaign for one workload (represented by its profiled pooled run)
+/// under one policy.
+pub fn run_campaign(
+    workload_name: &str,
+    report: &RunReport,
+    policy: SchedulingPolicy,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    assert!(config.runs > 0 && config.epochs_per_run > 0);
+    let idle = report.retime(&InterferenceProfile::Idle).total_runtime_s;
+    let runtimes_s: Vec<f64> = (0..config.runs)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_add(trial as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ policy.max_loi().to_bits(),
+            );
+            let schedule =
+                schedule_for_trial(&mut rng, idle, config.epochs_per_run, policy.max_loi());
+            report.retime(&schedule).total_runtime_s
+        })
+        .collect();
+    let summary = five_number_summary(&runtimes_s);
+    let mean_s = mean(&runtimes_s);
+    CampaignResult {
+        workload: workload_name.to_string(),
+        policy,
+        runtimes_s,
+        summary,
+        mean_s,
+    }
+}
+
+/// Runs both policies for one workload and returns the comparison.
+pub fn compare_policies(
+    workload_name: &str,
+    report: &RunReport,
+    config: &CampaignConfig,
+) -> PolicyComparison {
+    PolicyComparison {
+        workload: workload_name.to_string(),
+        baseline: run_campaign(
+            workload_name,
+            report,
+            SchedulingPolicy::RandomBaseline,
+            config,
+        ),
+        aware: run_campaign(
+            workload_name,
+            report,
+            SchedulingPolicy::InterferenceAware,
+            config,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_profiler::{pooled_config, run_workload, RunOptions};
+    use dismem_sim::MachineConfig;
+    use dismem_workloads::WorkloadKind;
+
+    fn pooled_report(kind: WorkloadKind) -> RunReport {
+        let w = kind.instantiate_tiny();
+        let cfg = pooled_config(&MachineConfig::test_config(), w.as_ref(), 0.5);
+        run_workload(w.as_ref(), &RunOptions::new(cfg))
+    }
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            runs: 30,
+            epochs_per_run: 6,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn aware_policy_is_no_slower_and_less_variable() {
+        let report = pooled_report(WorkloadKind::Hypre);
+        let cmp = compare_policies("Hypre", &report, &small_config());
+        assert!(cmp.mean_speedup_percent() >= -0.5, "{}", cmp.mean_speedup_percent());
+        assert!(
+            cmp.aware.summary.max <= cmp.baseline.summary.max + 1e-12,
+            "worst case must not get worse"
+        );
+        assert!(cmp.aware.summary.range() <= cmp.baseline.summary.range() + 1e-12);
+    }
+
+    #[test]
+    fn sensitive_workload_benefits_more_than_insensitive_one() {
+        let hypre = compare_policies("Hypre", &pooled_report(WorkloadKind::Hypre), &small_config());
+        let hpl = compare_policies("HPL", &pooled_report(WorkloadKind::Hpl), &small_config());
+        assert!(
+            hypre.mean_speedup_percent() >= hpl.mean_speedup_percent() - 0.2,
+            "Hypre {} vs HPL {}",
+            hypre.mean_speedup_percent(),
+            hpl.mean_speedup_percent()
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_a_seed() {
+        let report = pooled_report(WorkloadKind::Bfs);
+        let a = run_campaign("BFS", &report, SchedulingPolicy::RandomBaseline, &small_config());
+        let b = run_campaign("BFS", &report, SchedulingPolicy::RandomBaseline, &small_config());
+        assert_eq!(a.runtimes_s, b.runtimes_s);
+        let other_seed = CampaignConfig {
+            seed: 43,
+            ..small_config()
+        };
+        let c = run_campaign("BFS", &report, SchedulingPolicy::RandomBaseline, &other_seed);
+        assert_ne!(a.runtimes_s, c.runtimes_s);
+    }
+
+    #[test]
+    fn runtimes_are_never_faster_than_idle() {
+        let report = pooled_report(WorkloadKind::NekRs);
+        let idle = report.retime(&InterferenceProfile::Idle).total_runtime_s;
+        let campaign = run_campaign(
+            "NekRS",
+            &report,
+            SchedulingPolicy::RandomBaseline,
+            &small_config(),
+        );
+        assert_eq!(campaign.runtimes_s.len(), 30);
+        for &t in &campaign.runtimes_s {
+            assert!(t >= idle * 0.999, "interference cannot speed a job up");
+        }
+        assert!(campaign.summary.min >= idle * 0.999);
+        assert!(campaign.mean_s >= campaign.summary.min);
+    }
+}

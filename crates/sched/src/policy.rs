@@ -1,0 +1,57 @@
+//! Co-location policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy controlling how much interference co-located jobs may
+/// place on the shared memory pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Interference-oblivious placement: co-runners inject 0–50 % LoI.
+    RandomBaseline,
+    /// Interference-aware placement: heavy interferers are never co-located,
+    /// so co-runners inject only 0–20 % LoI.
+    InterferenceAware,
+}
+
+impl SchedulingPolicy {
+    /// Both policies, baseline first.
+    pub fn all() -> [SchedulingPolicy; 2] {
+        [
+            SchedulingPolicy::RandomBaseline,
+            SchedulingPolicy::InterferenceAware,
+        ]
+    }
+
+    /// Upper bound of the background LoI distribution (fraction of peak raw
+    /// link traffic).
+    pub fn max_loi(self) -> f64 {
+        match self {
+            SchedulingPolicy::RandomBaseline => 0.50,
+            SchedulingPolicy::InterferenceAware => 0.20,
+        }
+    }
+
+    /// Display label used in Figure 13.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulingPolicy::RandomBaseline => "Baseline",
+            SchedulingPolicy::InterferenceAware => "I-aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aware_policy_caps_interference_lower() {
+        assert!(
+            SchedulingPolicy::InterferenceAware.max_loi()
+                < SchedulingPolicy::RandomBaseline.max_loi()
+        );
+        assert_eq!(SchedulingPolicy::all().len(), 2);
+        assert_eq!(SchedulingPolicy::RandomBaseline.label(), "Baseline");
+        assert_eq!(SchedulingPolicy::InterferenceAware.label(), "I-aware");
+    }
+}

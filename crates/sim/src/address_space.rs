@@ -1,0 +1,489 @@
+//! Page-granular virtual address space with tiered placement.
+//!
+//! Pages are bound to a memory tier on first touch, following the placement
+//! policy of the owning allocation. The default first-touch policy fills the
+//! node-local tier until its capacity is exhausted and then spills to the
+//! memory pool — the Linux behaviour the paper's emulation platform relies on
+//! (NUMA balancing and THP disabled). Freed pages return their tier capacity,
+//! which is what makes allocation order and early frees effective placement
+//! optimizations (the BFS case study).
+
+use dismem_trace::access::pages_for;
+use dismem_trace::{AllocationRecord, ObjectHandle, PageHistogram, PlacementPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Memory tier a page can be bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Node-local memory.
+    Local,
+    /// Rack-level memory pool (remote).
+    Pool,
+}
+
+impl Tier {
+    /// `true` for [`Tier::Pool`].
+    pub fn is_remote(self) -> bool {
+        matches!(self, Tier::Pool)
+    }
+}
+
+/// Per-object placement and traffic summary maintained by the address space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectPlacement {
+    /// Pages of the object currently bound to the local tier.
+    pub pages_local: u64,
+    /// Pages of the object currently bound to the pool tier.
+    pub pages_pool: u64,
+    /// DRAM line accesses served from the local tier for this object.
+    pub dram_lines_local: u64,
+    /// DRAM line accesses served from the pool tier for this object.
+    pub dram_lines_pool: u64,
+}
+
+impl ObjectPlacement {
+    /// Fraction of this object's DRAM accesses that went to the pool.
+    pub fn remote_access_ratio(&self) -> f64 {
+        let total = self.dram_lines_local + self.dram_lines_pool;
+        if total == 0 {
+            return 0.0;
+        }
+        self.dram_lines_pool as f64 / total as f64
+    }
+}
+
+/// Error raised when no tier can hold a newly touched page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Page that could not be placed.
+    pub page: u64,
+    /// Name of the owning object.
+    pub object: String,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of memory: no tier can hold page {} of object '{}'",
+            self.page, self.object
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+#[derive(Debug, Clone)]
+struct Extent {
+    first_page: u64,
+    page_count: u64,
+    handle: ObjectHandle,
+}
+
+/// The tiered, page-granular address space.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    local_capacity_pages: Option<u64>,
+    pool_capacity_pages: Option<u64>,
+    allocations: Vec<AllocationRecord>,
+    extents: Vec<Extent>,
+    placements: Vec<ObjectPlacement>,
+    /// Pages assigned so far per object (drives interleave patterns).
+    assigned_pages: Vec<u64>,
+    next_page: u64,
+    page_tier: HashMap<u64, (Tier, ObjectHandle)>,
+    local_pages_used: u64,
+    pool_pages_used: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+    histogram: PageHistogram,
+}
+
+impl AddressSpace {
+    /// Creates an address space with the given tier capacities (in bytes;
+    /// `None` = unbounded).
+    pub fn new(local_capacity_bytes: Option<u64>, pool_capacity_bytes: Option<u64>) -> Self {
+        Self {
+            local_capacity_pages: local_capacity_bytes.map(pages_for),
+            pool_capacity_pages: pool_capacity_bytes.map(pages_for),
+            allocations: Vec::new(),
+            extents: Vec::new(),
+            placements: Vec::new(),
+            assigned_pages: Vec::new(),
+            next_page: 1, // keep page 0 unused so address 0 is never valid
+            page_tier: HashMap::new(),
+            local_pages_used: 0,
+            pool_pages_used: 0,
+            live_bytes: 0,
+            peak_bytes: 0,
+            histogram: PageHistogram::new(),
+        }
+    }
+
+    /// Allocates an object and returns its handle. Pages are *not* bound to a
+    /// tier yet; binding happens on first touch.
+    pub fn alloc(
+        &mut self,
+        name: &str,
+        site: &str,
+        bytes: u64,
+        policy: PlacementPolicy,
+    ) -> ObjectHandle {
+        let handle = ObjectHandle(self.allocations.len() as u32);
+        let record =
+            AllocationRecord::new(handle, name, site, bytes, self.allocations.len(), policy);
+        let pages = pages_for(bytes).max(1);
+        self.extents.push(Extent {
+            first_page: self.next_page,
+            page_count: pages,
+            handle,
+        });
+        self.next_page += pages;
+        self.allocations.push(record);
+        self.placements.push(ObjectPlacement::default());
+        self.assigned_pages.push(0);
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        handle
+    }
+
+    /// Frees an object, releasing its bound pages back to their tiers.
+    pub fn free(&mut self, handle: ObjectHandle) {
+        let idx = handle.index();
+        assert!(idx < self.allocations.len(), "free of unknown handle");
+        assert!(
+            !self.allocations[idx].freed,
+            "double free of object '{}'",
+            self.allocations[idx].name
+        );
+        self.allocations[idx].freed = true;
+        self.live_bytes = self.live_bytes.saturating_sub(self.allocations[idx].bytes);
+        let extent = self.extents[idx].clone();
+        for page in extent.first_page..extent.first_page + extent.page_count {
+            if let Some((tier, _)) = self.page_tier.remove(&page) {
+                match tier {
+                    Tier::Local => {
+                        self.local_pages_used -= 1;
+                        self.placements[idx].pages_local -= 1;
+                    }
+                    Tier::Pool => {
+                        self.pool_pages_used -= 1;
+                        self.placements[idx].pages_pool -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Base address of an object's first byte.
+    pub fn base_addr(&self, handle: ObjectHandle) -> u64 {
+        self.extents[handle.index()].first_page * dismem_trace::PAGE_SIZE
+    }
+
+    /// Size (bytes) of an object as requested at allocation.
+    pub fn object_bytes(&self, handle: ObjectHandle) -> u64 {
+        self.allocations[handle.index()].bytes
+    }
+
+    /// Resolves the tier serving a DRAM access to `addr`, binding the page on
+    /// first touch and updating per-page and per-object accounting.
+    pub fn dram_access(&mut self, addr: u64) -> Result<Tier, OutOfMemory> {
+        let page = addr / dismem_trace::PAGE_SIZE;
+        self.histogram.record(page, 1);
+        if let Some(&(tier, owner)) = self.page_tier.get(&page) {
+            self.bump_object_traffic(owner, tier);
+            return Ok(tier);
+        }
+        let owner = self.owner_of_page(page).ok_or_else(|| OutOfMemory {
+            page,
+            object: "<unmapped>".to_string(),
+        })?;
+        let policy = self.allocations[owner.index()].policy;
+        let tier = self.place_page(page, owner, policy)?;
+        self.bump_object_traffic(owner, tier);
+        Ok(tier)
+    }
+
+    /// Tier currently bound to the page containing `addr`, if any.
+    pub fn tier_of(&self, addr: u64) -> Option<Tier> {
+        self.page_tier
+            .get(&(addr / dismem_trace::PAGE_SIZE))
+            .map(|&(t, _)| t)
+    }
+
+    fn bump_object_traffic(&mut self, owner: ObjectHandle, tier: Tier) {
+        let p = &mut self.placements[owner.index()];
+        match tier {
+            Tier::Local => p.dram_lines_local += 1,
+            Tier::Pool => p.dram_lines_pool += 1,
+        }
+    }
+
+    fn owner_of_page(&self, page: u64) -> Option<ObjectHandle> {
+        // Extents are appended in increasing page order, so binary search works.
+        let idx = self
+            .extents
+            .partition_point(|e| e.first_page + e.page_count <= page);
+        let extent = self.extents.get(idx)?;
+        if page >= extent.first_page && page < extent.first_page + extent.page_count {
+            Some(extent.handle)
+        } else {
+            None
+        }
+    }
+
+    fn local_has_room(&self) -> bool {
+        match self.local_capacity_pages {
+            Some(cap) => self.local_pages_used < cap,
+            None => true,
+        }
+    }
+
+    fn pool_has_room(&self) -> bool {
+        match self.pool_capacity_pages {
+            Some(cap) => self.pool_pages_used < cap,
+            None => true,
+        }
+    }
+
+    fn place_page(
+        &mut self,
+        page: u64,
+        owner: ObjectHandle,
+        policy: PlacementPolicy,
+    ) -> Result<Tier, OutOfMemory> {
+        let prefer_local = match policy {
+            PlacementPolicy::FirstTouch | PlacementPolicy::ForceLocal => true,
+            PlacementPolicy::ForceRemote => false,
+            PlacementPolicy::Interleave { local, remote } => {
+                let idx = self.assigned_pages[owner.index()];
+                let period = (local + remote) as u64;
+                (idx % period) < local as u64
+            }
+        };
+        let tier = if prefer_local {
+            if self.local_has_room() {
+                Tier::Local
+            } else if self.pool_has_room() {
+                Tier::Pool
+            } else {
+                return Err(self.oom(page, owner));
+            }
+        } else if self.pool_has_room() {
+            Tier::Pool
+        } else if self.local_has_room() {
+            Tier::Local
+        } else {
+            return Err(self.oom(page, owner));
+        };
+        match tier {
+            Tier::Local => {
+                self.local_pages_used += 1;
+                self.placements[owner.index()].pages_local += 1;
+            }
+            Tier::Pool => {
+                self.pool_pages_used += 1;
+                self.placements[owner.index()].pages_pool += 1;
+            }
+        }
+        self.assigned_pages[owner.index()] += 1;
+        self.page_tier.insert(page, (tier, owner));
+        Ok(tier)
+    }
+
+    fn oom(&self, page: u64, owner: ObjectHandle) -> OutOfMemory {
+        OutOfMemory {
+            page,
+            object: self.allocations[owner.index()].name.clone(),
+        }
+    }
+
+    /// Allocation records in allocation order.
+    pub fn allocations(&self) -> &[AllocationRecord] {
+        &self.allocations
+    }
+
+    /// Placement summary for one object.
+    pub fn placement(&self, handle: ObjectHandle) -> ObjectPlacement {
+        self.placements[handle.index()]
+    }
+
+    /// Placement summaries for all objects, in allocation order.
+    pub fn placements(&self) -> &[ObjectPlacement] {
+        &self.placements
+    }
+
+    /// Pages currently bound to the local tier.
+    pub fn local_pages_used(&self) -> u64 {
+        self.local_pages_used
+    }
+
+    /// Pages currently bound to the pool tier.
+    pub fn pool_pages_used(&self) -> u64 {
+        self.pool_pages_used
+    }
+
+    /// Peak bytes of live allocations observed so far.
+    pub fn peak_footprint_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Bytes of currently live allocations.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Page-access histogram over all DRAM accesses.
+    pub fn histogram(&self) -> &PageHistogram {
+        &self.histogram
+    }
+
+    /// Ratio of pool capacity usage to total bound pages — the paper's remote
+    /// capacity ratio `R^remote_cap`.
+    pub fn remote_capacity_ratio(&self) -> f64 {
+        let total = self.local_pages_used + self.pool_pages_used;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_pages_used as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::PAGE_SIZE;
+
+    fn addr_of(space: &AddressSpace, h: ObjectHandle, offset: u64) -> u64 {
+        space.base_addr(h) + offset
+    }
+
+    #[test]
+    fn first_touch_spills_to_pool_when_local_full() {
+        // Local capacity: 2 pages.
+        let mut space = AddressSpace::new(Some(2 * PAGE_SIZE), None);
+        let a = space.alloc("A", "t", 4 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        for p in 0..4 {
+            space.dram_access(addr_of(&space, a, p * PAGE_SIZE)).unwrap();
+        }
+        assert_eq!(space.local_pages_used(), 2);
+        assert_eq!(space.pool_pages_used(), 2);
+        let pl = space.placement(a);
+        assert_eq!(pl.pages_local, 2);
+        assert_eq!(pl.pages_pool, 2);
+        assert!((space.remote_capacity_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_remote_goes_to_pool_even_with_local_room() {
+        let mut space = AddressSpace::new(Some(100 * PAGE_SIZE), None);
+        let a = space.alloc("A", "t", 2 * PAGE_SIZE, PlacementPolicy::ForceRemote);
+        space.dram_access(addr_of(&space, a, 0)).unwrap();
+        space.dram_access(addr_of(&space, a, PAGE_SIZE)).unwrap();
+        assert_eq!(space.local_pages_used(), 0);
+        assert_eq!(space.pool_pages_used(), 2);
+    }
+
+    #[test]
+    fn interleave_alternates_tiers() {
+        let mut space = AddressSpace::new(None, None);
+        let a = space.alloc("A", "t", 6 * PAGE_SIZE, PlacementPolicy::interleave(1, 2));
+        for p in 0..6 {
+            space.dram_access(addr_of(&space, a, p * PAGE_SIZE)).unwrap();
+        }
+        let pl = space.placement(a);
+        assert_eq!(pl.pages_local, 2);
+        assert_eq!(pl.pages_pool, 4);
+    }
+
+    #[test]
+    fn free_releases_local_capacity_for_later_allocations() {
+        // The BFS case-study mechanism: freeing an init-time object lets later
+        // dynamic allocations land locally.
+        let mut space = AddressSpace::new(Some(2 * PAGE_SIZE), None);
+        let temp = space.alloc("temp", "init", 2 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        space.dram_access(addr_of(&space, temp, 0)).unwrap();
+        space.dram_access(addr_of(&space, temp, PAGE_SIZE)).unwrap();
+        assert_eq!(space.local_pages_used(), 2);
+        space.free(temp);
+        assert_eq!(space.local_pages_used(), 0);
+
+        let frontier = space.alloc("frontier", "bfs", 2 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        space.dram_access(addr_of(&space, frontier, 0)).unwrap();
+        space.dram_access(addr_of(&space, frontier, PAGE_SIZE)).unwrap();
+        let pl = space.placement(frontier);
+        assert_eq!(pl.pages_local, 2);
+        assert_eq!(pl.pages_pool, 0);
+    }
+
+    #[test]
+    fn repeated_access_does_not_rebind_pages() {
+        let mut space = AddressSpace::new(Some(PAGE_SIZE), None);
+        let a = space.alloc("A", "t", 2 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        let t0 = space.dram_access(addr_of(&space, a, 0)).unwrap();
+        let t1 = space.dram_access(addr_of(&space, a, PAGE_SIZE)).unwrap();
+        assert_eq!(t0, Tier::Local);
+        assert_eq!(t1, Tier::Pool);
+        // Accessing again keeps the original binding and counts traffic.
+        assert_eq!(space.dram_access(addr_of(&space, a, 0)).unwrap(), Tier::Local);
+        assert_eq!(space.dram_access(addr_of(&space, a, PAGE_SIZE)).unwrap(), Tier::Pool);
+        let pl = space.placement(a);
+        assert_eq!(pl.dram_lines_local, 2);
+        assert_eq!(pl.dram_lines_pool, 2);
+        assert!((pl.remote_access_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_when_both_tiers_full() {
+        let mut space = AddressSpace::new(Some(PAGE_SIZE), Some(PAGE_SIZE));
+        let a = space.alloc("A", "t", 3 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        space.dram_access(addr_of(&space, a, 0)).unwrap();
+        space.dram_access(addr_of(&space, a, PAGE_SIZE)).unwrap();
+        let err = space.dram_access(addr_of(&space, a, 2 * PAGE_SIZE)).unwrap_err();
+        assert_eq!(err.object, "A");
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut space = AddressSpace::new(None, None);
+        let a = space.alloc("A", "t", PAGE_SIZE, PlacementPolicy::FirstTouch);
+        space.free(a);
+        space.free(a);
+    }
+
+    #[test]
+    fn peak_footprint_tracks_live_bytes() {
+        let mut space = AddressSpace::new(None, None);
+        let a = space.alloc("A", "t", 1000, PlacementPolicy::FirstTouch);
+        let _b = space.alloc("B", "t", 2000, PlacementPolicy::FirstTouch);
+        space.free(a);
+        let _c = space.alloc("C", "t", 500, PlacementPolicy::FirstTouch);
+        assert_eq!(space.peak_footprint_bytes(), 3000);
+        assert_eq!(space.live_bytes(), 2500);
+    }
+
+    #[test]
+    fn owner_lookup_is_correct_across_objects() {
+        let mut space = AddressSpace::new(None, None);
+        let a = space.alloc("A", "t", 2 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        let b = space.alloc("B", "t", 2 * PAGE_SIZE, PlacementPolicy::ForceRemote);
+        space.dram_access(addr_of(&space, a, 0)).unwrap();
+        space.dram_access(addr_of(&space, b, 0)).unwrap();
+        assert_eq!(space.placement(a).pages_local, 1);
+        assert_eq!(space.placement(b).pages_pool, 1);
+    }
+
+    #[test]
+    fn histogram_counts_dram_accesses() {
+        let mut space = AddressSpace::new(None, None);
+        let a = space.alloc("A", "t", PAGE_SIZE, PlacementPolicy::FirstTouch);
+        for _ in 0..5 {
+            space.dram_access(addr_of(&space, a, 0)).unwrap();
+        }
+        assert_eq!(space.histogram().total_accesses(), 5);
+        assert_eq!(space.histogram().touched_pages(), 1);
+    }
+}

@@ -1,0 +1,459 @@
+//! Set-associative cache hierarchy (L2 + shared LLC) with prefetch-aware
+//! accounting.
+//!
+//! The hierarchy produces the counter set of the paper's Level-1 profiling:
+//! `L2_LINES_IN`, prefetch requests, `USELESS_HWPF`, demand misses, and the
+//! DRAM fill/writeback events that the [`crate::Machine`] routes to memory
+//! tiers.
+
+use crate::config::CacheParams;
+use crate::counters::Counters;
+use crate::prefetch::StreamPrefetcher;
+use serde::{Deserialize, Serialize};
+
+/// Level of the memory hierarchy that served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryLevel {
+    /// Served from the L2 cache.
+    L2,
+    /// Served from the last-level cache.
+    Llc,
+    /// Served from a memory tier (DRAM, local or pool).
+    Dram,
+}
+
+/// A request that reached DRAM and must be routed to a memory tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramEvent {
+    /// Cache-line address (line index, not byte address).
+    pub line_addr: u64,
+    /// What kind of DRAM transaction this is.
+    pub kind: DramEventKind,
+}
+
+/// Kind of DRAM transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramEventKind {
+    /// Line fill triggered by a demand miss: its latency is exposed to the
+    /// core (up to the available memory-level parallelism).
+    DemandFill,
+    /// Line fill triggered by the hardware prefetcher: latency hidden.
+    PrefetchFill,
+    /// Dirty line written back on eviction.
+    Writeback,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheLine {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    used: bool,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<CacheLine>,
+    clock: u64,
+}
+
+struct Evicted {
+    tag: u64,
+    dirty: bool,
+    useless_prefetch: bool,
+}
+
+impl SetAssocCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one line");
+        Self {
+            sets,
+            ways,
+            lines: vec![CacheLine::default(); sets * ways],
+            clock: 0,
+        }
+    }
+
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = (line_addr as usize) % self.sets;
+        let start = set * self.ways;
+        start..start + self.ways
+    }
+
+    /// Looks up a line; on hit, refreshes LRU and returns a mutable reference.
+    fn lookup(&mut self, line_addr: u64) -> Option<&mut CacheLine> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line_addr);
+        let lines = &mut self.lines[range];
+        for line in lines.iter_mut() {
+            if line.valid && line.tag == line_addr {
+                line.stamp = clock;
+                return Some(line);
+            }
+        }
+        None
+    }
+
+    fn contains(&self, line_addr: u64) -> bool {
+        let range = self.set_range(line_addr);
+        self.lines[range]
+            .iter()
+            .any(|l| l.valid && l.tag == line_addr)
+    }
+
+    /// Inserts a line, returning the victim if a valid line was evicted.
+    fn insert(&mut self, line_addr: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line_addr);
+        let lines = &mut self.lines[range];
+
+        // Prefer an invalid way.
+        let mut victim_idx = 0;
+        let mut victim_stamp = u64::MAX;
+        for (i, line) in lines.iter().enumerate() {
+            if !line.valid {
+                victim_idx = i;
+                break;
+            }
+            if line.stamp < victim_stamp {
+                victim_stamp = line.stamp;
+                victim_idx = i;
+            }
+        }
+        let victim = lines[victim_idx];
+        let evicted = if victim.valid {
+            Some(Evicted {
+                tag: victim.tag,
+                dirty: victim.dirty,
+                useless_prefetch: victim.prefetched && !victim.used,
+            })
+        } else {
+            None
+        };
+        lines[victim_idx] = CacheLine {
+            tag: line_addr,
+            valid: true,
+            dirty,
+            prefetched,
+            used: !prefetched,
+            stamp: clock,
+        };
+        evicted
+    }
+}
+
+/// The simulated two-level cache hierarchy with an L2 stream prefetcher.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    params: CacheParams,
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+    prefetcher: StreamPrefetcher,
+    prefetch_buf: Vec<u64>,
+}
+
+impl CacheSim {
+    /// Creates the hierarchy from cache and prefetch parameters.
+    pub fn new(params: CacheParams, prefetcher: StreamPrefetcher) -> Self {
+        Self {
+            l2: SetAssocCache::new(params.l2_sets(), params.l2_ways as usize),
+            llc: SetAssocCache::new(params.llc_sets(), params.llc_ways as usize),
+            prefetcher,
+            params,
+            prefetch_buf: Vec::with_capacity(8),
+        }
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.params.line_bytes
+    }
+
+    /// Enables or disables the hardware prefetcher.
+    pub fn set_prefetch_enabled(&mut self, enabled: bool) {
+        self.prefetcher.set_enabled(enabled);
+    }
+
+    /// Whether the hardware prefetcher is enabled.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetcher.enabled()
+    }
+
+    /// Performs one demand access to cache line `line_addr`.
+    ///
+    /// Updates `counters` and appends any DRAM transactions (fills and
+    /// writebacks, including those triggered by prefetches) to `dram_events`.
+    pub fn demand_access(
+        &mut self,
+        line_addr: u64,
+        is_write: bool,
+        counters: &mut Counters,
+        dram_events: &mut Vec<DramEvent>,
+    ) {
+        if is_write {
+            counters.demand_write_lines += 1;
+        } else {
+            counters.demand_read_lines += 1;
+        }
+
+        if let Some(line) = self.l2.lookup(line_addr) {
+            let first_use_of_prefetch = line.prefetched && !line.used;
+            if first_use_of_prefetch {
+                line.used = true;
+                counters.pf_useful += 1;
+            }
+            if is_write {
+                line.dirty = true;
+            }
+            if first_use_of_prefetch {
+                self.prefetcher.feedback(true);
+            }
+        } else {
+            counters.l2_demand_misses += 1;
+            counters.l2_lines_in += 1;
+            self.fill_from_below(line_addr, true, counters, dram_events);
+            self.insert_l2(line_addr, is_write, false, counters, dram_events);
+        }
+
+        // Train the prefetcher on the demand stream and issue prefetches.
+        self.prefetch_buf.clear();
+        let mut buf = std::mem::take(&mut self.prefetch_buf);
+        self.prefetcher.observe(line_addr, &mut buf);
+        for i in 0..buf.len() {
+            let pf_addr = buf[i];
+            if self.l2.contains(pf_addr) {
+                continue;
+            }
+            counters.pf_issued += 1;
+            counters.l2_lines_in += 1;
+            self.fill_from_below(pf_addr, false, counters, dram_events);
+            self.insert_l2(pf_addr, false, true, counters, dram_events);
+        }
+        self.prefetch_buf = buf;
+    }
+
+    /// Brings a line into the hierarchy from LLC or DRAM.
+    fn fill_from_below(
+        &mut self,
+        line_addr: u64,
+        demand: bool,
+        _counters: &mut Counters,
+        dram_events: &mut Vec<DramEvent>,
+    ) {
+        if self.llc.lookup(line_addr).is_some() {
+            return;
+        }
+        dram_events.push(DramEvent {
+            line_addr,
+            kind: if demand {
+                DramEventKind::DemandFill
+            } else {
+                DramEventKind::PrefetchFill
+            },
+        });
+        if let Some(victim) = self.llc.insert(line_addr, false, !demand) {
+            if victim.dirty {
+                dram_events.push(DramEvent {
+                    line_addr: victim.tag,
+                    kind: DramEventKind::Writeback,
+                });
+            }
+        }
+    }
+
+    /// Inserts a line into L2, handling the victim (useless-prefetch counting
+    /// and dirty writeback towards the LLC / DRAM).
+    fn insert_l2(
+        &mut self,
+        line_addr: u64,
+        dirty: bool,
+        prefetched: bool,
+        counters: &mut Counters,
+        dram_events: &mut Vec<DramEvent>,
+    ) {
+        if let Some(victim) = self.l2.insert(line_addr, dirty, prefetched) {
+            if victim.useless_prefetch {
+                counters.useless_hwpf += 1;
+                self.prefetcher.feedback(false);
+            }
+            if victim.dirty {
+                // Write the victim back into the LLC; if it has already been
+                // evicted from the LLC, the writeback goes to DRAM.
+                if let Some(llc_line) = self.llc.lookup(victim.tag) {
+                    llc_line.dirty = true;
+                } else if let Some(llc_victim) = self.llc.insert(victim.tag, true, false) {
+                    if llc_victim.dirty {
+                        dram_events.push(DramEvent {
+                            line_addr: llc_victim.tag,
+                            kind: DramEventKind::Writeback,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resets all cache contents and prefetcher state.
+    pub fn reset(&mut self) {
+        self.l2 = SetAssocCache::new(self.params.l2_sets(), self.params.l2_ways as usize);
+        self.llc = SetAssocCache::new(self.params.llc_sets(), self.params.llc_ways as usize);
+        self.prefetcher.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetchParams;
+
+    fn sim(prefetch: bool) -> CacheSim {
+        let params = CacheParams::tiny();
+        let pf = StreamPrefetcher::new(PrefetchParams {
+            enabled: prefetch,
+            degree: 2,
+            trigger: 2,
+            max_streams: 8,
+        });
+        CacheSim::new(params, pf)
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = sim(false);
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        c.demand_access(42, false, &mut counters, &mut dram);
+        assert_eq!(counters.l2_demand_misses, 1);
+        assert_eq!(dram.len(), 1);
+        assert_eq!(dram[0].kind, DramEventKind::DemandFill);
+        c.demand_access(42, false, &mut counters, &mut dram);
+        assert_eq!(counters.l2_demand_misses, 1, "second access must hit");
+        assert_eq!(counters.demand_read_lines, 2);
+    }
+
+    #[test]
+    fn sequential_stream_generates_prefetch_fills() {
+        let mut c = sim(true);
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        for line in 0..16u64 {
+            c.demand_access(line, false, &mut counters, &mut dram);
+        }
+        assert!(counters.pf_issued > 0, "stream should trigger prefetches");
+        assert!(counters.pf_useful > 0, "prefetched lines should be used");
+        assert!(
+            counters.prefetch_coverage() > 0.3,
+            "coverage too low: {}",
+            counters.prefetch_coverage()
+        );
+        // Lines-in conservation: fills = demand misses + prefetches.
+        assert_eq!(
+            counters.l2_lines_in,
+            counters.l2_demand_misses + counters.pf_issued
+        );
+    }
+
+    #[test]
+    fn random_accesses_have_no_prefetch_benefit() {
+        let mut c = sim(true);
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        // Stride of 3 pages defeats the within-page streamer.
+        for i in 0..200u64 {
+            c.demand_access(i * 192 + 7, false, &mut counters, &mut dram);
+        }
+        assert_eq!(counters.pf_issued, 0);
+        assert_eq!(counters.prefetch_coverage(), 0.0);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = sim(false);
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        // Write far more lines than the tiny hierarchy can hold, mapping to
+        // the same sets repeatedly, to force dirty evictions all the way out.
+        for i in 0..20_000u64 {
+            c.demand_access(i, true, &mut counters, &mut dram);
+        }
+        assert!(
+            dram.iter().any(|e| e.kind == DramEventKind::Writeback),
+            "expected at least one writeback to DRAM"
+        );
+    }
+
+    #[test]
+    fn useless_prefetches_are_counted_on_eviction() {
+        let mut c = sim(true);
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        // Trigger a stream, then jump away so the prefetched lines are never
+        // used and eventually evicted by unrelated traffic.
+        for line in 0..8u64 {
+            c.demand_access(line, false, &mut counters, &mut dram);
+        }
+        for i in 0..50_000u64 {
+            c.demand_access(1_000_000 + i * 3, false, &mut counters, &mut dram);
+        }
+        assert!(counters.pf_issued > 0);
+        assert!(
+            counters.useless_hwpf > 0,
+            "unused prefetched lines must be counted useless on eviction"
+        );
+        assert!(counters.prefetch_accuracy() < 1.0);
+    }
+
+    #[test]
+    fn llc_absorbs_l2_capacity_misses() {
+        let mut c = sim(false);
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        // Working set larger than L2 (128 lines) but smaller than LLC (1024):
+        // first sweep fills caches, second sweep should be served by LLC with
+        // no additional DRAM fills.
+        let lines = 512u64;
+        for l in 0..lines {
+            c.demand_access(l, false, &mut counters, &mut dram);
+        }
+        let dram_after_first = dram.len();
+        for l in 0..lines {
+            c.demand_access(l, false, &mut counters, &mut dram);
+        }
+        let new_dram = dram.len() - dram_after_first;
+        assert!(
+            new_dram < dram_after_first / 4,
+            "second sweep should mostly hit in LLC ({new_dram} new DRAM fills)"
+        );
+    }
+
+    #[test]
+    fn prefetch_disabled_no_prefetch_counters() {
+        let mut c = sim(false);
+        assert!(!c.prefetch_enabled());
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        for line in 0..64u64 {
+            c.demand_access(line, false, &mut counters, &mut dram);
+        }
+        assert_eq!(counters.pf_issued, 0);
+        assert_eq!(counters.l2_lines_in, counters.l2_demand_misses);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = sim(false);
+        let mut counters = Counters::default();
+        let mut dram = Vec::new();
+        c.demand_access(7, false, &mut counters, &mut dram);
+        c.reset();
+        dram.clear();
+        c.demand_access(7, false, &mut counters, &mut dram);
+        assert_eq!(dram.len(), 1, "after reset the line must miss again");
+    }
+}

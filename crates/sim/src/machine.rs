@@ -1,0 +1,478 @@
+//! The [`Machine`]: the simulated compute node with tiered memory.
+//!
+//! A `Machine` implements [`MemoryEngine`], so any workload written against
+//! `dismem-trace` can run on it. It combines the address space (placement),
+//! the cache hierarchy (traffic filtering and prefetching), the link model
+//! (interference) and the timing model (runtime) and produces a [`RunReport`].
+
+use crate::address_space::{AddressSpace, Tier};
+use crate::cache::{CacheSim, DramEvent, DramEventKind};
+use crate::config::MachineConfig;
+use crate::counters::Counters;
+use crate::interference::InterferenceProfile;
+use crate::prefetch::StreamPrefetcher;
+use crate::report::{AllocationSummary, PhaseReport, RunReport, TimelineSample};
+use crate::timing::TimingModel;
+use dismem_trace::{AccessKind, MemoryEngine, ObjectHandle, PlacementPolicy, CACHE_LINE_SIZE};
+
+/// The simulated compute node.
+pub struct Machine {
+    config: MachineConfig,
+    space: AddressSpace,
+    cache: CacheSim,
+    timing: TimingModel,
+    interference: InterferenceProfile,
+
+    clock_s: f64,
+    chunk: Counters,
+    dram_events: Vec<DramEvent>,
+
+    phase_names: Vec<String>,
+    phase_counters: Vec<Counters>,
+    phase_runtimes: Vec<f64>,
+    current_phase: Option<usize>,
+
+    total: Counters,
+    timeline: Vec<TimelineSample>,
+}
+
+impl Machine {
+    /// Creates a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let space = AddressSpace::new(config.local.capacity_bytes, config.pool.capacity_bytes);
+        let prefetcher = StreamPrefetcher::new(config.prefetch);
+        let cache = CacheSim::new(config.cache, prefetcher);
+        let timing = TimingModel::new(config.clone());
+        Self {
+            config,
+            space,
+            cache,
+            timing,
+            interference: InterferenceProfile::Idle,
+            clock_s: 0.0,
+            chunk: Counters::default(),
+            dram_events: Vec::with_capacity(64),
+            phase_names: Vec::new(),
+            phase_counters: Vec::new(),
+            phase_runtimes: Vec::new(),
+            current_phase: None,
+            total: Counters::default(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Creates a machine with the paper's testbed configuration.
+    pub fn skylake_testbed() -> Self {
+        Self::new(MachineConfig::skylake_testbed())
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Sets the background interference profile on the pool link.
+    pub fn set_interference(&mut self, profile: InterferenceProfile) {
+        self.interference = profile;
+    }
+
+    /// Enables or disables the hardware prefetcher (MSR 0x1a4 analogue).
+    pub fn set_prefetch_enabled(&mut self, enabled: bool) {
+        self.cache.set_prefetch_enabled(enabled);
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Finishes the run and produces the report. The machine can keep being
+    /// used afterwards (e.g. to run another phase), but typically a fresh
+    /// machine is created per run.
+    pub fn finish(&mut self) -> RunReport {
+        self.close_chunk();
+        let line_bytes = self.config.cache.line_bytes;
+        let phases = self
+            .phase_names
+            .iter()
+            .zip(&self.phase_counters)
+            .zip(&self.phase_runtimes)
+            .map(|((name, counters), runtime)| PhaseReport {
+                name: name.clone(),
+                counters: *counters,
+                runtime_s: *runtime,
+                line_bytes,
+            })
+            .collect();
+        let allocations = self
+            .space
+            .allocations()
+            .iter()
+            .zip(self.space.placements())
+            .map(|(rec, pl)| AllocationSummary {
+                name: rec.name.clone(),
+                site: rec.site.clone(),
+                bytes: rec.bytes,
+                order: rec.order,
+                freed: rec.freed,
+                pages_local: pl.pages_local,
+                pages_pool: pl.pages_pool,
+                dram_lines_local: pl.dram_lines_local,
+                dram_lines_pool: pl.dram_lines_pool,
+            })
+            .collect();
+        RunReport {
+            config: self.config.clone(),
+            phases,
+            total: self.total,
+            total_runtime_s: self.clock_s,
+            allocations,
+            timeline: self.timeline.clone(),
+            page_histogram: self.space.histogram().clone(),
+            peak_footprint_bytes: self.space.peak_footprint_bytes(),
+            local_pages_used: self.space.local_pages_used(),
+            pool_pages_used: self.space.pool_pages_used(),
+        }
+    }
+
+    fn close_chunk(&mut self) {
+        if self.chunk == Counters::default() {
+            return;
+        }
+        let loi = self.interference.loi_at(self.clock_s);
+        let breakdown = self.timing.chunk_time(&self.chunk, loi);
+        let duration = breakdown.total_s;
+        self.timeline.push(TimelineSample {
+            start_s: self.clock_s,
+            duration_s: duration,
+            counters: self.chunk,
+            phase: self.current_phase,
+        });
+        if let Some(p) = self.current_phase {
+            self.phase_counters[p].add(&self.chunk);
+            self.phase_runtimes[p] += duration;
+        }
+        self.total.add(&self.chunk);
+        self.clock_s += duration;
+        self.chunk = Counters::default();
+    }
+
+    fn maybe_close_chunk(&mut self) {
+        let line = self.config.cache.line_bytes;
+        if self.chunk.bytes_dram(line) >= self.config.chunk_bytes
+            || self.chunk.flops >= self.config.chunk_flops
+        {
+            self.close_chunk();
+        }
+    }
+
+    fn process_dram_events(&mut self) {
+        let line_bytes = self.config.cache.line_bytes;
+        let overhead = self.config.link.protocol_overhead();
+        // Drain into a local buffer to avoid borrowing issues.
+        let mut events = std::mem::take(&mut self.dram_events);
+        for ev in events.drain(..) {
+            let addr = ev.line_addr * CACHE_LINE_SIZE;
+            let tier = match self.space.dram_access(addr) {
+                Ok(t) => t,
+                Err(oom) => panic!("simulated OOM abort: {oom}"),
+            };
+            match (tier, ev.kind) {
+                (Tier::Local, DramEventKind::DemandFill) => {
+                    self.chunk.dram_lines_local += 1;
+                    self.chunk.demand_dram_lines_local += 1;
+                }
+                (Tier::Local, DramEventKind::PrefetchFill) => {
+                    self.chunk.dram_lines_local += 1;
+                }
+                (Tier::Local, DramEventKind::Writeback) => {
+                    self.chunk.writeback_lines_local += 1;
+                }
+                (Tier::Pool, DramEventKind::DemandFill) => {
+                    self.chunk.dram_lines_pool += 1;
+                    self.chunk.demand_dram_lines_pool += 1;
+                }
+                (Tier::Pool, DramEventKind::PrefetchFill) => {
+                    self.chunk.dram_lines_pool += 1;
+                }
+                (Tier::Pool, DramEventKind::Writeback) => {
+                    self.chunk.writeback_lines_pool += 1;
+                }
+            }
+            if tier == Tier::Pool {
+                self.chunk.link_raw_bytes += (line_bytes as f64 * overhead).round() as u64;
+            }
+        }
+        self.dram_events = events;
+    }
+
+    /// Direct access to the underlying address space (placement inspection).
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.space
+    }
+}
+
+impl MemoryEngine for Machine {
+    fn alloc_with_policy(
+        &mut self,
+        name: &str,
+        site: &str,
+        bytes: u64,
+        policy: PlacementPolicy,
+    ) -> ObjectHandle {
+        self.space.alloc(name, site, bytes, policy)
+    }
+
+    fn free(&mut self, handle: ObjectHandle) {
+        // Close the chunk first so traffic before the free is timed with the
+        // placement that produced it.
+        self.close_chunk();
+        self.space.free(handle);
+    }
+
+    fn phase_start(&mut self, name: &str) {
+        self.close_chunk();
+        assert!(
+            self.current_phase.is_none(),
+            "phase_start('{name}') while another phase is open"
+        );
+        self.phase_names.push(name.to_string());
+        self.phase_counters.push(Counters::default());
+        self.phase_runtimes.push(0.0);
+        self.current_phase = Some(self.phase_names.len() - 1);
+    }
+
+    fn phase_end(&mut self) {
+        assert!(self.current_phase.is_some(), "phase_end without phase_start");
+        self.close_chunk();
+        self.current_phase = None;
+    }
+
+    fn access(&mut self, handle: ObjectHandle, offset: u64, bytes: u64, kind: AccessKind) {
+        if bytes == 0 {
+            return;
+        }
+        let object_bytes = self.space.object_bytes(handle);
+        debug_assert!(
+            offset + bytes <= object_bytes.max(dismem_trace::PAGE_SIZE),
+            "access beyond end of object (offset {offset} + {bytes} > {object_bytes})"
+        );
+        let base = self.space.base_addr(handle) + offset;
+        let first_line = base / CACHE_LINE_SIZE;
+        let last_line = (base + bytes - 1) / CACHE_LINE_SIZE;
+        let is_write = kind.is_write();
+        for line in first_line..=last_line {
+            self.cache
+                .demand_access(line, is_write, &mut self.chunk, &mut self.dram_events);
+            if !self.dram_events.is_empty() {
+                self.process_dram_events();
+            }
+        }
+        self.maybe_close_chunk();
+    }
+
+    fn flops(&mut self, n: u64) {
+        self.chunk.flops += n;
+        self.maybe_close_chunk();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::PAGE_SIZE;
+
+    fn machine_with_local_cap(pages: u64) -> Machine {
+        let config = MachineConfig::test_config().with_local_capacity(pages * PAGE_SIZE);
+        Machine::new(config)
+    }
+
+    #[test]
+    fn simple_run_produces_consistent_report() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        let a = m.alloc("A", "t", 1 << 20);
+        m.phase_start("p1");
+        m.touch(a, 1 << 20);
+        m.flops(1_000_000);
+        m.phase_end();
+        let report = m.finish();
+
+        assert_eq!(report.phases.len(), 1);
+        let p = &report.phases[0];
+        assert_eq!(p.name, "p1");
+        assert!(p.runtime_s > 0.0);
+        assert_eq!(p.counters.flops, 1_000_000);
+        // All traffic local (no capacity limit).
+        assert_eq!(report.total.dram_lines_pool, 0);
+        assert!(report.total.dram_lines_local > 0);
+        assert_eq!(report.remote_access_ratio(), 0.0);
+        assert_eq!(report.peak_footprint_bytes, 1 << 20);
+        // Conservation: lines into L2 = demand misses + prefetches.
+        assert_eq!(
+            report.total.l2_lines_in,
+            report.total.l2_demand_misses + report.total.pf_issued
+        );
+    }
+
+    #[test]
+    fn capacity_pressure_sends_traffic_to_pool() {
+        // 16 pages local, object of 64 pages: most traffic should go remote.
+        let mut m = machine_with_local_cap(16);
+        let a = m.alloc("big", "t", 64 * PAGE_SIZE);
+        m.phase_start("p1");
+        m.touch(a, 64 * PAGE_SIZE);
+        m.read(a, 0, 64 * PAGE_SIZE);
+        m.phase_end();
+        let report = m.finish();
+        assert!(report.total.dram_lines_pool > 0);
+        assert!(report.remote_access_ratio() > 0.4);
+        assert!(report.remote_capacity_ratio() > 0.6);
+        assert!(report.total.link_raw_bytes > 0);
+        assert!(report.allocation("big").unwrap().pages_pool > 0);
+    }
+
+    #[test]
+    fn interference_slows_down_pool_bound_run() {
+        let build = |loi: f64| {
+            let mut m = machine_with_local_cap(1);
+            m.set_interference(InterferenceProfile::Constant(loi));
+            let a = m.alloc("remote", "t", 8 << 20);
+            m.phase_start("p1");
+            // Stream the object twice: almost everything remote.
+            m.read(a, 0, 8 << 20);
+            m.read(a, 0, 8 << 20);
+            m.phase_end();
+            m.finish().total_runtime_s
+        };
+        let t0 = build(0.0);
+        let t50 = build(0.5);
+        assert!(
+            t50 > t0 * 1.05,
+            "50% LoI should slow a pool-bound run: {t50} vs {t0}"
+        );
+    }
+
+    #[test]
+    fn prefetch_toggle_changes_performance_not_placement() {
+        let run = |prefetch: bool| {
+            let mut m = Machine::new(MachineConfig::test_config().with_prefetch(prefetch));
+            let a = m.alloc("A", "t", 4 << 20);
+            m.phase_start("p1");
+            m.touch(a, 4 << 20);
+            m.read(a, 0, 4 << 20);
+            m.phase_end();
+            m.finish()
+        };
+        let with_pf = run(true);
+        let without_pf = run(false);
+        assert!(with_pf.total.pf_issued > 0);
+        assert_eq!(without_pf.total.pf_issued, 0);
+        assert!(
+            with_pf.total_runtime_s < without_pf.total_runtime_s,
+            "prefetching must help a streaming run"
+        );
+        assert_eq!(
+            with_pf.local_pages_used, without_pf.local_pages_used,
+            "placement must not depend on prefetching"
+        );
+    }
+
+    #[test]
+    fn timeline_covers_total_runtime() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        let a = m.alloc("A", "t", 2 << 20);
+        m.phase_start("p1");
+        m.touch(a, 2 << 20);
+        m.phase_end();
+        let report = m.finish();
+        let sum: f64 = report.timeline.iter().map(|s| s.duration_s).sum();
+        assert!((sum - report.total_runtime_s).abs() < 1e-12);
+        assert!(!report.timeline.is_empty());
+        // Samples are ordered and contiguous.
+        for w in report.timeline.windows(2) {
+            assert!(w[1].start_s >= w[0].start_s);
+        }
+    }
+
+    #[test]
+    fn free_closes_chunk_and_releases_capacity() {
+        let mut m = machine_with_local_cap(4);
+        let temp = m.alloc("temp", "init", 4 * PAGE_SIZE);
+        m.phase_start("init");
+        m.touch(temp, 4 * PAGE_SIZE);
+        m.phase_end();
+        m.free(temp);
+        let hot = m.alloc("hot", "solve", 4 * PAGE_SIZE);
+        m.phase_start("solve");
+        m.touch(hot, 4 * PAGE_SIZE);
+        m.read(hot, 0, 4 * PAGE_SIZE);
+        m.phase_end();
+        let report = m.finish();
+        let hot_alloc = report.allocation("hot").unwrap();
+        assert_eq!(hot_alloc.pages_pool, 0, "freed local pages must be reused");
+        assert!(report.allocation("temp").unwrap().freed);
+    }
+
+    #[test]
+    fn flops_only_run_is_compute_bound() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        m.phase_start("compute");
+        m.flops(5_000_000_000);
+        m.phase_end();
+        let report = m.finish();
+        let expected = 5_000_000_000.0 / m.config().peak_flops;
+        assert!((report.total_runtime_s - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn phase_counters_sum_to_total() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        let a = m.alloc("A", "t", 1 << 20);
+        m.phase_start("p1");
+        m.touch(a, 1 << 20);
+        m.phase_end();
+        m.phase_start("p2");
+        m.read(a, 0, 1 << 20);
+        m.flops(123);
+        m.phase_end();
+        let report = m.finish();
+        let mut summed = Counters::default();
+        for p in &report.phases {
+            summed.add(&p.counters);
+        }
+        assert_eq!(summed, report.total);
+        let phase_time: f64 = report.phases.iter().map(|p| p.runtime_s).sum();
+        assert!((phase_time - report.total_runtime_s).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase_end without")]
+    fn unbalanced_phase_panics() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        m.phase_end();
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated OOM abort")]
+    fn oom_aborts_run() {
+        let config = MachineConfig::test_config()
+            .with_local_capacity(PAGE_SIZE)
+            .with_pool_capacity(PAGE_SIZE);
+        let mut m = Machine::new(config);
+        let a = m.alloc("A", "t", 4 * PAGE_SIZE);
+        m.touch(a, 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn force_remote_policy_places_object_on_pool() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        let a = m.alloc_with_policy("arr", "lbench", 1 << 20, PlacementPolicy::ForceRemote);
+        m.phase_start("kernel");
+        m.touch(a, 1 << 20);
+        m.read(a, 0, 1 << 20);
+        m.phase_end();
+        let report = m.finish();
+        assert!(report.remote_access_ratio() > 0.99);
+        assert_eq!(report.allocation("arr").unwrap().pages_local, 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! L2 hardware stream prefetcher model.
+//!
+//! Models the per-core streamer the paper enables/disables through MSR 0x1a4:
+//! it tracks sequential access streams within 4 KiB pages and, once a stream
+//! is confirmed, fetches the next few lines ahead of the demand stream. It
+//! never crosses page boundaries (real hardware cannot, because it works on
+//! physical addresses).
+
+use crate::config::PrefetchParams;
+use dismem_trace::{CACHE_LINE_SIZE, PAGE_SIZE};
+
+/// Cache lines per page.
+const LINES_PER_PAGE: u64 = PAGE_SIZE / CACHE_LINE_SIZE;
+
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    page: u64,
+    last_line: u64,
+    /// Consecutive sequential hits observed.
+    run: u32,
+    /// LRU timestamp.
+    stamp: u64,
+    valid: bool,
+}
+
+/// Stream prefetcher state.
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    params: PrefetchParams,
+    entries: Vec<StreamEntry>,
+    clock: u64,
+    /// Accuracy-feedback counters (decayed periodically): prefetched lines
+    /// that were eventually used vs evicted unused. Real prefetchers throttle
+    /// themselves when accuracy is poor — the behaviour the paper observes in
+    /// XSBench ("prefetching is automatically adapted to a low level when
+    /// accuracy is low").
+    feedback_useful: u64,
+    feedback_useless: u64,
+}
+
+/// Minimum number of feedback samples before throttling decisions are made.
+const FEEDBACK_WARMUP: u64 = 512;
+/// Window size at which the feedback counters are halved (exponential decay).
+const FEEDBACK_DECAY_AT: u64 = 8192;
+
+impl StreamPrefetcher {
+    /// Creates a prefetcher with the given parameters.
+    pub fn new(params: PrefetchParams) -> Self {
+        Self {
+            params,
+            entries: Vec::with_capacity(params.max_streams),
+            clock: 0,
+            feedback_useful: 0,
+            feedback_useless: 0,
+        }
+    }
+
+    /// Reports the fate of a previously prefetched line: used by a demand
+    /// access (`useful = true`) or evicted without use (`useful = false`).
+    pub fn feedback(&mut self, useful: bool) {
+        if useful {
+            self.feedback_useful += 1;
+        } else {
+            self.feedback_useless += 1;
+        }
+        if self.feedback_useful + self.feedback_useless > FEEDBACK_DECAY_AT {
+            self.feedback_useful /= 2;
+            self.feedback_useless /= 2;
+        }
+    }
+
+    /// Observed prefetch accuracy over the recent feedback window (1.0 before
+    /// enough samples have been collected).
+    pub fn observed_accuracy(&self) -> f64 {
+        let total = self.feedback_useful + self.feedback_useless;
+        if total < FEEDBACK_WARMUP {
+            return 1.0;
+        }
+        self.feedback_useful as f64 / total as f64
+    }
+
+    /// Prefetch degree after accuracy-based throttling.
+    fn effective_degree(&self) -> u64 {
+        let acc = self.observed_accuracy();
+        if acc >= 0.60 {
+            self.params.degree as u64
+        } else if acc >= 0.30 {
+            (self.params.degree as u64 / 2).max(1)
+        } else {
+            0
+        }
+    }
+
+    /// Whether prefetching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.params.enabled
+    }
+
+    /// Enables or disables prefetch generation (stream training continues).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.params.enabled = enabled;
+    }
+
+    /// Resets all tracked streams and the accuracy feedback.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.clock = 0;
+        self.feedback_useful = 0;
+        self.feedback_useless = 0;
+    }
+
+    /// Observes a demand access to cache line `line_addr` and appends the
+    /// line addresses that should be prefetched to `out`.
+    pub fn observe(&mut self, line_addr: u64, out: &mut Vec<u64>) {
+        if !self.params.enabled {
+            return;
+        }
+        self.clock += 1;
+        let page = line_addr / LINES_PER_PAGE;
+        let line_in_page = line_addr % LINES_PER_PAGE;
+
+        // Find existing stream for this page.
+        let mut found: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.valid && e.page == page {
+                found = Some(i);
+                break;
+            }
+        }
+
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                // Allocate a new entry, evicting the LRU one if full.
+                if self.entries.len() < self.params.max_streams {
+                    self.entries.push(StreamEntry {
+                        page,
+                        last_line: line_in_page,
+                        run: 1,
+                        stamp: self.clock,
+                        valid: true,
+                    });
+                    return;
+                }
+                let lru = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                self.entries[lru] = StreamEntry {
+                    page,
+                    last_line: line_in_page,
+                    run: 1,
+                    stamp: self.clock,
+                    valid: true,
+                };
+                return;
+            }
+        };
+
+        let entry = &mut self.entries[idx];
+        entry.stamp = self.clock;
+        if line_in_page == entry.last_line {
+            // Same line re-accessed; no new information.
+            return;
+        }
+        if line_in_page == entry.last_line + 1 {
+            entry.run += 1;
+            entry.last_line = line_in_page;
+            let run = entry.run;
+            let degree = self.effective_degree();
+            if run >= self.params.trigger && degree > 0 {
+                let first = line_in_page + 1;
+                let last = (line_in_page + degree).min(LINES_PER_PAGE - 1);
+                let page_base_line = page * LINES_PER_PAGE;
+                for l in first..=last {
+                    out.push(page_base_line + l);
+                }
+            }
+        } else {
+            // Non-sequential access: restart the stream at this line.
+            entry.run = 1;
+            entry.last_line = line_in_page;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> StreamPrefetcher {
+        StreamPrefetcher::new(PrefetchParams {
+            enabled: true,
+            degree: 2,
+            trigger: 2,
+            max_streams: 4,
+        })
+    }
+
+    #[test]
+    fn sequential_stream_triggers_prefetch() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.observe(100, &mut out);
+        assert!(out.is_empty());
+        p.observe(101, &mut out);
+        // run = 2 >= trigger: prefetch lines 102, 103
+        assert_eq!(out, vec![102, 103]);
+    }
+
+    #[test]
+    fn random_accesses_never_trigger() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        for &l in &[5u64, 200, 9, 431, 77, 1000] {
+            p.observe(l, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn disabled_prefetcher_is_silent() {
+        let mut p = StreamPrefetcher::new(PrefetchParams::disabled());
+        let mut out = Vec::new();
+        p.observe(0, &mut out);
+        p.observe(1, &mut out);
+        p.observe(2, &mut out);
+        assert!(out.is_empty());
+        assert!(!p.enabled());
+    }
+
+    #[test]
+    fn prefetch_stops_at_page_boundary() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        // Last two lines of page 0 (lines 62, 63 of 64).
+        p.observe(62, &mut out);
+        p.observe(63, &mut out);
+        // Nothing to prefetch: next lines would be in page 1.
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stream_restart_on_jump_within_page() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.observe(10, &mut out);
+        p.observe(11, &mut out);
+        out.clear();
+        // Jump backwards within the same page: stream restarts, no prefetch.
+        p.observe(3, &mut out);
+        assert!(out.is_empty());
+        p.observe(4, &mut out);
+        assert_eq!(out, vec![5, 6]);
+    }
+
+    #[test]
+    fn lru_eviction_limits_tracked_streams() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        // Touch 5 different pages (capacity 4): the first page's stream is evicted.
+        for page in 0..5u64 {
+            p.observe(page * 64, &mut out);
+        }
+        // Resuming page 0's stream needs re-training from scratch.
+        p.observe(1, &mut out);
+        assert!(out.is_empty(), "evicted stream must not remember its history");
+        p.observe(2, &mut out);
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn repeated_same_line_does_not_advance_stream() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.observe(20, &mut out);
+        p.observe(20, &mut out);
+        p.observe(20, &mut out);
+        assert!(out.is_empty());
+        p.observe(21, &mut out);
+        assert_eq!(out, vec![22, 23]);
+    }
+
+    #[test]
+    fn poor_accuracy_feedback_throttles_prefetching() {
+        let mut p = pf();
+        // Report overwhelmingly useless prefetches.
+        for _ in 0..2000 {
+            p.feedback(false);
+        }
+        assert!(p.observed_accuracy() < 0.1);
+        let mut out = Vec::new();
+        p.observe(10, &mut out);
+        p.observe(11, &mut out);
+        assert!(out.is_empty(), "throttled prefetcher must stay quiet");
+        // Good feedback restores prefetching.
+        for _ in 0..20_000 {
+            p.feedback(true);
+        }
+        assert!(p.observed_accuracy() > 0.6);
+        p.observe(12, &mut out);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn accuracy_defaults_to_one_before_warmup() {
+        let mut p = pf();
+        p.feedback(false);
+        assert_eq!(p.observed_accuracy(), 1.0);
+        p.reset();
+        assert_eq!(p.observed_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn set_enabled_toggles_generation() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.set_enabled(false);
+        p.observe(0, &mut out);
+        p.observe(1, &mut out);
+        assert!(out.is_empty());
+        p.set_enabled(true);
+        p.observe(2, &mut out);
+        p.observe(3, &mut out);
+        assert!(!out.is_empty());
+    }
+}

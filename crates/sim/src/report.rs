@@ -1,0 +1,340 @@
+//! Run reports: everything the profiler layers consume after a simulation.
+
+use crate::config::MachineConfig;
+use crate::counters::Counters;
+use crate::interference::InterferenceProfile;
+use crate::timing::TimingModel;
+use dismem_trace::PageHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Counters and runtime of one profiled phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase tag passed to `phase_start`.
+    pub name: String,
+    /// Counters accumulated during the phase.
+    pub counters: Counters,
+    /// Simulated phase runtime in seconds.
+    pub runtime_s: f64,
+    /// Cache-line size used for byte conversions.
+    pub line_bytes: u64,
+}
+
+impl PhaseReport {
+    /// Arithmetic intensity (flops per byte of DRAM traffic).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.counters.arithmetic_intensity(self.line_bytes)
+    }
+
+    /// Achieved throughput in Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        if self.runtime_s == 0.0 {
+            return 0.0;
+        }
+        self.counters.flops as f64 / self.runtime_s / 1e9
+    }
+
+    /// Achieved DRAM bandwidth (both tiers) in GB/s.
+    pub fn dram_bandwidth_gbs(&self) -> f64 {
+        if self.runtime_s == 0.0 {
+            return 0.0;
+        }
+        self.counters.bytes_dram(self.line_bytes) as f64 / self.runtime_s / 1e9
+    }
+
+    /// Remote (pool) access ratio of the phase.
+    pub fn remote_access_ratio(&self) -> f64 {
+        self.counters.remote_access_ratio(self.line_bytes)
+    }
+
+    /// Raw link traffic rate in GB/s.
+    pub fn link_traffic_gbs(&self) -> f64 {
+        if self.runtime_s == 0.0 {
+            return 0.0;
+        }
+        self.counters.link_raw_bytes as f64 / self.runtime_s / 1e9
+    }
+}
+
+/// Placement and traffic summary of one allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationSummary {
+    /// Object name.
+    pub name: String,
+    /// Allocation site.
+    pub site: String,
+    /// Requested bytes.
+    pub bytes: u64,
+    /// Allocation order (0 = first).
+    pub order: usize,
+    /// Whether the object was freed before the end of the run.
+    pub freed: bool,
+    /// Pages bound to the local tier at the end of the run.
+    pub pages_local: u64,
+    /// Pages bound to the pool tier at the end of the run.
+    pub pages_pool: u64,
+    /// DRAM line accesses served locally.
+    pub dram_lines_local: u64,
+    /// DRAM line accesses served by the pool.
+    pub dram_lines_pool: u64,
+}
+
+impl AllocationSummary {
+    /// Fraction of this object's DRAM accesses that went to the pool.
+    pub fn remote_access_ratio(&self) -> f64 {
+        let total = self.dram_lines_local + self.dram_lines_pool;
+        if total == 0 {
+            return 0.0;
+        }
+        self.dram_lines_pool as f64 / total as f64
+    }
+
+    /// Total DRAM line accesses to this object.
+    pub fn dram_lines(&self) -> u64 {
+        self.dram_lines_local + self.dram_lines_pool
+    }
+}
+
+/// One timing chunk: a slice of work with its counters and duration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineSample {
+    /// Simulated start time of the chunk.
+    pub start_s: f64,
+    /// Chunk duration.
+    pub duration_s: f64,
+    /// Counters accumulated during the chunk.
+    pub counters: Counters,
+    /// Index into [`RunReport::phases`], or `None` for work outside phases.
+    pub phase: Option<usize>,
+}
+
+/// Result of re-evaluating a run's timeline under a different interference
+/// profile (no re-simulation of caches or placement).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetimedRun {
+    /// New total runtime.
+    pub total_runtime_s: f64,
+    /// New per-phase runtimes, aligned with [`RunReport::phases`].
+    pub phase_runtimes_s: Vec<f64>,
+}
+
+/// Full output of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Machine configuration the run used.
+    pub config: MachineConfig,
+    /// Per-phase counters and runtimes.
+    pub phases: Vec<PhaseReport>,
+    /// Counters over the whole run (including work outside phases).
+    pub total: Counters,
+    /// Total simulated runtime in seconds.
+    pub total_runtime_s: f64,
+    /// Allocation summaries in allocation order.
+    pub allocations: Vec<AllocationSummary>,
+    /// Timing chunks in execution order.
+    pub timeline: Vec<TimelineSample>,
+    /// Page-granular DRAM access histogram.
+    pub page_histogram: PageHistogram,
+    /// Peak bytes of live allocations.
+    pub peak_footprint_bytes: u64,
+    /// Pages bound to the local tier at the end of the run.
+    pub local_pages_used: u64,
+    /// Pages bound to the pool tier at the end of the run.
+    pub pool_pages_used: u64,
+}
+
+impl RunReport {
+    /// Remote access ratio over the whole run.
+    pub fn remote_access_ratio(&self) -> f64 {
+        self.total.remote_access_ratio(self.config.cache.line_bytes)
+    }
+
+    /// Remote capacity ratio: fraction of bound pages residing on the pool.
+    pub fn remote_capacity_ratio(&self) -> f64 {
+        let total = self.local_pages_used + self.pool_pages_used;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_pages_used as f64 / total as f64
+    }
+
+    /// Bytes accessed from the pool tier over the whole run.
+    pub fn remote_bytes(&self) -> u64 {
+        self.total.bytes_pool(self.config.cache.line_bytes)
+    }
+
+    /// Average raw link traffic rate over the run, in GB/s.
+    pub fn link_traffic_gbs(&self) -> f64 {
+        if self.total_runtime_s == 0.0 {
+            return 0.0;
+        }
+        self.total.link_raw_bytes as f64 / self.total_runtime_s / 1e9
+    }
+
+    /// Measured level of interference this run itself would inject on the
+    /// link (fraction of the peak raw bandwidth).
+    pub fn measured_loi(&self) -> f64 {
+        self.link_traffic_gbs() * 1e9 / self.config.link.raw_bandwidth_bps
+    }
+
+    /// Achieved throughput over the whole run in Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        if self.total_runtime_s == 0.0 {
+            return 0.0;
+        }
+        self.total.flops as f64 / self.total_runtime_s / 1e9
+    }
+
+    /// Looks up a phase report by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Finds the allocation summary for an object name.
+    pub fn allocation(&self, name: &str) -> Option<&AllocationSummary> {
+        self.allocations.iter().find(|a| a.name == name)
+    }
+
+    /// Re-evaluates the run's timeline under a different interference profile
+    /// without re-simulating caches or page placement.
+    ///
+    /// This is how the Level-3 sensitivity sweeps (Figure 10) and the
+    /// scheduling study (Figure 13) explore many interference scenarios
+    /// cheaply: cache behaviour and data placement do not depend on what other
+    /// nodes do to the link, only timing does.
+    pub fn retime(&self, interference: &InterferenceProfile) -> RetimedRun {
+        let model = TimingModel::new(self.config.clone());
+        let mut clock = 0.0f64;
+        let mut phase_runtimes = vec![0.0f64; self.phases.len()];
+        for sample in &self.timeline {
+            let loi = interference.loi_at(clock);
+            let t = model.chunk_time(&sample.counters, loi).total_s;
+            if let Some(p) = sample.phase {
+                phase_runtimes[p] += t;
+            }
+            clock += t;
+        }
+        RetimedRun {
+            total_runtime_s: clock,
+            phase_runtimes_s: phase_runtimes,
+        }
+    }
+
+    /// Relative performance under `interference` compared with an idle pool
+    /// (1.0 = no slowdown, lower = slower), the paper's sensitivity metric.
+    pub fn relative_performance(&self, interference: &InterferenceProfile) -> f64 {
+        let idle = self.retime(&InterferenceProfile::Idle).total_runtime_s;
+        let loaded = self.retime(interference).total_runtime_s;
+        if loaded == 0.0 {
+            return 1.0;
+        }
+        idle / loaded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_chunk(lines: u64) -> Counters {
+        Counters {
+            flops: 1000,
+            dram_lines_pool: lines,
+            demand_dram_lines_pool: lines / 2,
+            link_raw_bytes: lines * 64 * 85 / 34,
+            ..Default::default()
+        }
+    }
+
+    fn report_with_pool_traffic() -> RunReport {
+        let config = MachineConfig::skylake_testbed();
+        let model = TimingModel::new(config.clone());
+        let chunk = pool_chunk(100_000);
+        let t = model.chunk_time(&chunk, 0.0).total_s;
+        let mut total = Counters::default();
+        total.add(&chunk);
+        total.add(&chunk);
+        RunReport {
+            config,
+            phases: vec![PhaseReport {
+                name: "p1".into(),
+                counters: total,
+                runtime_s: 2.0 * t,
+                line_bytes: 64,
+            }],
+            total,
+            total_runtime_s: 2.0 * t,
+            allocations: vec![],
+            timeline: vec![
+                TimelineSample {
+                    start_s: 0.0,
+                    duration_s: t,
+                    counters: chunk,
+                    phase: Some(0),
+                },
+                TimelineSample {
+                    start_s: t,
+                    duration_s: t,
+                    counters: chunk,
+                    phase: Some(0),
+                },
+            ],
+            page_histogram: PageHistogram::new(),
+            peak_footprint_bytes: 0,
+            local_pages_used: 0,
+            pool_pages_used: 10,
+        }
+    }
+
+    #[test]
+    fn retime_idle_matches_original() {
+        let r = report_with_pool_traffic();
+        let rt = r.retime(&InterferenceProfile::Idle);
+        assert!((rt.total_runtime_s - r.total_runtime_s).abs() / r.total_runtime_s < 1e-9);
+        assert_eq!(rt.phase_runtimes_s.len(), 1);
+    }
+
+    #[test]
+    fn retime_with_interference_is_slower() {
+        let r = report_with_pool_traffic();
+        let rt = r.retime(&InterferenceProfile::Constant(0.5));
+        assert!(rt.total_runtime_s > r.total_runtime_s);
+        let rel = r.relative_performance(&InterferenceProfile::Constant(0.5));
+        assert!(rel < 1.0 && rel > 0.2);
+    }
+
+    #[test]
+    fn relative_performance_idle_is_one() {
+        let r = report_with_pool_traffic();
+        let rel = r.relative_performance(&InterferenceProfile::Idle);
+        assert!((rel - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_ratios_and_lookup_helpers() {
+        let r = report_with_pool_traffic();
+        assert!((r.remote_access_ratio() - 1.0).abs() < 1e-12);
+        assert!((r.remote_capacity_ratio() - 1.0).abs() < 1e-12);
+        assert!(r.phase("p1").is_some());
+        assert!(r.phase("nope").is_none());
+        assert!(r.measured_loi() > 0.0);
+        assert!(r.gflops() > 0.0);
+    }
+
+    #[test]
+    fn allocation_summary_ratio() {
+        let a = AllocationSummary {
+            name: "A".into(),
+            site: "s".into(),
+            bytes: 100,
+            order: 0,
+            freed: false,
+            pages_local: 1,
+            pages_pool: 1,
+            dram_lines_local: 30,
+            dram_lines_pool: 10,
+        };
+        assert!((a.remote_access_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(a.dram_lines(), 40);
+    }
+}

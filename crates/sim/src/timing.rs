@@ -1,0 +1,294 @@
+//! Execution-time model.
+//!
+//! Time is computed per *chunk* of work (a bounded amount of flops and DRAM
+//! traffic) using an extended roofline: a chunk takes as long as its slowest
+//! resource — compute, local-tier bandwidth, pool bandwidth (reduced by link
+//! interference), or exposed miss latency (demand misses not covered by the
+//! prefetcher, divided by the node's memory-level parallelism and inflated by
+//! link queueing for pool misses). This is the quantitative backbone behind
+//! the paper's observations that interference sensitivity grows with pool
+//! traffic and shrinks with arithmetic intensity (Section 6.1), and that
+//! prefetching is performance-critical for HPC workloads (Section 4.2).
+
+use crate::config::MachineConfig;
+use crate::counters::Counters;
+use crate::link::LinkModel;
+use serde::{Deserialize, Serialize};
+
+/// Per-chunk timing breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Time the chunk would take if only compute mattered.
+    pub compute_s: f64,
+    /// Time to move the chunk's local-tier traffic at local bandwidth.
+    pub local_bw_s: f64,
+    /// Time to move the chunk's pool traffic at the interference-reduced
+    /// pool bandwidth.
+    pub pool_bw_s: f64,
+    /// Time to cover exposed demand-miss latency (MLP-limited).
+    pub latency_s: f64,
+    /// The resulting chunk duration: the maximum of the four components.
+    pub total_s: f64,
+    /// Link utilization used for the queueing model (background + own).
+    pub link_utilization: f64,
+}
+
+impl TimeBreakdown {
+    /// Name of the dominating component.
+    pub fn bottleneck(&self) -> &'static str {
+        let m = self.total_s;
+        if m == 0.0 {
+            "idle"
+        } else if self.compute_s >= m {
+            "compute"
+        } else if self.pool_bw_s >= m {
+            "pool-bandwidth"
+        } else if self.local_bw_s >= m {
+            "local-bandwidth"
+        } else {
+            "latency"
+        }
+    }
+}
+
+/// The chunk-level timing model.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    config: MachineConfig,
+    link: LinkModel,
+}
+
+impl TimingModel {
+    /// Creates a timing model for a machine configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let link = LinkModel::new(config.link);
+        Self { config, link }
+    }
+
+    /// The underlying machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The link model.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Computes the duration of a chunk of work under a background level of
+    /// interference `loi` (0–1 of peak raw link traffic).
+    ///
+    /// The latency component is solved self-consistently: the queueing delay
+    /// on the pool link depends on the link utilization, which in turn depends
+    /// on how long the chunk takes. The equation `t = max(t_base, t_lat(t))`
+    /// has a unique solution because `t_lat` decreases as `t` grows; it is
+    /// found by bisection.
+    pub fn chunk_time(&self, chunk: &Counters, loi: f64) -> TimeBreakdown {
+        let line = self.config.cache.line_bytes;
+        let bytes_local = chunk.bytes_local(line) as f64;
+        let bytes_pool = chunk.bytes_pool(line) as f64;
+
+        let compute_s = chunk.flops as f64 / self.config.peak_flops;
+        let local_bw_s = bytes_local / self.config.local.bandwidth_bps;
+
+        let pool_bw_avail = self
+            .link
+            .available_data_bandwidth(self.config.pool.bandwidth_bps, loi);
+        let pool_bw_s = bytes_pool / pool_bw_avail;
+
+        let t_base = compute_s.max(local_bw_s).max(pool_bw_s);
+
+        let local_latency_total =
+            chunk.demand_dram_lines_local as f64 * self.config.local.latency_s;
+        let pool_demand_lines = chunk.demand_dram_lines_pool as f64;
+        let raw_bytes = chunk.link_raw_bytes as f64;
+
+        // Latency term as a function of the assumed chunk duration `t`.
+        let latency_at = |t: f64| -> (f64, f64) {
+            let raw_rate = if t > 0.0 { raw_bytes / t } else { 0.0 };
+            let utilization = self.link.utilization(raw_rate, loi);
+            let pool_latency = self
+                .link
+                .effective_latency(self.config.pool.latency_s, utilization);
+            let lat = (local_latency_total + pool_demand_lines * pool_latency) / self.config.mlp;
+            (lat, utilization)
+        };
+
+        // Bracket the fixed point: at `lo` the residual is non-negative, at
+        // `hi` (latency computed with the utilization cap) it is non-positive.
+        let worst_latency = self
+            .link
+            .effective_latency(self.config.pool.latency_s, f64::INFINITY);
+        let lat_upper = (local_latency_total + pool_demand_lines * worst_latency) / self.config.mlp;
+        let mut lo = t_base;
+        let mut hi = t_base.max(lat_upper);
+
+        let (mut latency_s, mut utilization) = latency_at(hi.max(1e-30));
+        if hi > 0.0 && lo < hi {
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                let (lat, util) = latency_at(mid);
+                let implied = t_base.max(lat);
+                latency_s = lat;
+                utilization = util;
+                if implied > mid {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        } else {
+            let (lat, util) = latency_at(t_base.max(1e-30));
+            latency_s = lat;
+            utilization = util;
+        }
+
+        let total_s = t_base.max(latency_s);
+        TimeBreakdown {
+            compute_s,
+            local_bw_s,
+            pool_bw_s,
+            latency_s,
+            total_s,
+            link_utilization: utilization,
+        }
+    }
+
+    /// Convenience: total time of a sequence of chunks under constant
+    /// interference.
+    pub fn total_time(&self, chunks: &[Counters], loi: f64) -> f64 {
+        chunks.iter().map(|c| self.chunk_time(c, loi).total_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::new(MachineConfig::skylake_testbed())
+    }
+
+    fn local_streaming_chunk() -> Counters {
+        // 64 MiB of local traffic, fully prefetched (no exposed demand misses),
+        // negligible flops.
+        Counters {
+            flops: 1_000_000,
+            dram_lines_local: 1_048_576,
+            l2_lines_in: 1_048_576,
+            pf_issued: 1_048_576,
+            ..Default::default()
+        }
+    }
+
+    fn pool_streaming_chunk() -> Counters {
+        Counters {
+            flops: 1_000_000,
+            dram_lines_pool: 1_048_576,
+            link_raw_bytes: (1_048_576u64 * 64) * 85 / 34,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn local_streaming_is_bandwidth_bound() {
+        let m = model();
+        let b = m.chunk_time(&local_streaming_chunk(), 0.0);
+        let expected = (1_048_576.0 * 64.0) / 73.0e9;
+        assert!((b.total_s - expected).abs() / expected < 1e-9);
+        assert_eq!(b.bottleneck(), "local-bandwidth");
+    }
+
+    #[test]
+    fn compute_bound_chunk_ignores_interference() {
+        let m = model();
+        let chunk = Counters {
+            flops: 10_000_000_000,
+            dram_lines_local: 1000,
+            dram_lines_pool: 1000,
+            link_raw_bytes: 1000 * 64 * 85 / 34,
+            ..Default::default()
+        };
+        let t0 = m.chunk_time(&chunk, 0.0).total_s;
+        let t50 = m.chunk_time(&chunk, 0.5).total_s;
+        assert_eq!(m.chunk_time(&chunk, 0.0).bottleneck(), "compute");
+        assert!((t50 - t0).abs() / t0 < 1e-9, "compute-bound time must not change");
+    }
+
+    #[test]
+    fn pool_streaming_slows_down_with_interference() {
+        let m = model();
+        let chunk = pool_streaming_chunk();
+        let t0 = m.chunk_time(&chunk, 0.0).total_s;
+        let t25 = m.chunk_time(&chunk, 0.25).total_s;
+        let t50 = m.chunk_time(&chunk, 0.5).total_s;
+        assert!(t25 > t0);
+        assert!(t50 > t25);
+    }
+
+    #[test]
+    fn exposed_misses_cost_more_on_the_pool() {
+        let m = model();
+        let local = Counters {
+            demand_dram_lines_local: 100_000,
+            dram_lines_local: 100_000,
+            ..Default::default()
+        };
+        let pool = Counters {
+            demand_dram_lines_pool: 100_000,
+            dram_lines_pool: 100_000,
+            link_raw_bytes: 100_000 * 64 * 85 / 34,
+            ..Default::default()
+        };
+        let tl = m.chunk_time(&local, 0.0);
+        let tp = m.chunk_time(&pool, 0.0);
+        assert!(tp.latency_s > tl.latency_s);
+    }
+
+    #[test]
+    fn unprefetched_stream_is_slower_than_prefetched() {
+        let m = model();
+        let prefetched = local_streaming_chunk();
+        let mut demand = prefetched;
+        demand.pf_issued = 0;
+        demand.demand_dram_lines_local = demand.dram_lines_local;
+        let tp = m.chunk_time(&prefetched, 0.0).total_s;
+        let td = m.chunk_time(&demand, 0.0).total_s;
+        assert!(
+            td > tp * 1.2,
+            "exposing miss latency must cost noticeably more: {td} vs {tp}"
+        );
+    }
+
+    #[test]
+    fn latency_term_grows_with_interference_queueing() {
+        let m = model();
+        let chunk = Counters {
+            demand_dram_lines_pool: 500_000,
+            dram_lines_pool: 500_000,
+            link_raw_bytes: 500_000 * 64 * 85 / 34,
+            ..Default::default()
+        };
+        let b0 = m.chunk_time(&chunk, 0.0);
+        let b50 = m.chunk_time(&chunk, 0.5);
+        assert!(b50.latency_s > b0.latency_s * 1.5);
+        assert!(b50.link_utilization > b0.link_utilization);
+    }
+
+    #[test]
+    fn empty_chunk_takes_no_time() {
+        let m = model();
+        let b = m.chunk_time(&Counters::default(), 0.3);
+        assert_eq!(b.total_s, 0.0);
+        assert_eq!(b.bottleneck(), "idle");
+    }
+
+    #[test]
+    fn total_time_sums_chunks() {
+        let m = model();
+        let chunks = vec![local_streaming_chunk(), pool_streaming_chunk()];
+        let sum = m.total_time(&chunks, 0.0);
+        let manual = m.chunk_time(&chunks[0], 0.0).total_s + m.chunk_time(&chunks[1], 0.0).total_s;
+        assert!((sum - manual).abs() < 1e-15);
+    }
+}

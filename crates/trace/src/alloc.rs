@@ -1,0 +1,143 @@
+//! Allocation records and data-placement policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque handle returned by [`crate::MemoryEngine::alloc`] identifying a live
+/// memory object (one `malloc`-like allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectHandle(pub u32);
+
+impl ObjectHandle {
+    /// Raw index of the handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Page-placement policy attached to an allocation.
+///
+/// The default on the paper's emulation platform is first-touch: pages are
+/// allocated from the node-local tier until it is full and then spill to the
+/// memory pool. Explicit policies model `libnuma`-style placement used in the
+/// BFS case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Linux default: place on the local tier while capacity remains, then
+    /// spill to the remote tier (the memory pool).
+    #[default]
+    FirstTouch,
+    /// Force all pages of the object onto the node-local tier (fails over to
+    /// the pool only if local capacity is exhausted).
+    ForceLocal,
+    /// Force all pages of the object onto the memory pool.
+    ForceRemote,
+    /// Weighted interleaving across tiers, `local : remote` pages, emulating
+    /// the non-uniform interleave mempolicy for tiered memory nodes.
+    Interleave {
+        /// Consecutive pages placed locally per round.
+        local: u32,
+        /// Consecutive pages placed on the pool per round.
+        remote: u32,
+    },
+}
+
+impl PlacementPolicy {
+    /// Returns an N:M interleave policy, validating that the ratio is not 0:0.
+    pub fn interleave(local: u32, remote: u32) -> Self {
+        assert!(
+            local + remote > 0,
+            "interleave ratio must have at least one page per round"
+        );
+        PlacementPolicy::Interleave { local, remote }
+    }
+}
+
+/// Metadata describing one allocation made by a workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationRecord {
+    /// Handle identifying the object.
+    pub handle: ObjectHandle,
+    /// Human-readable object name (e.g. `"Parents"`, `"matrix A"`).
+    pub name: String,
+    /// Allocation site (e.g. `"bfs.rs:init"`), used by the profiler to
+    /// attribute memory accesses to program locations.
+    pub site: String,
+    /// Requested size in bytes.
+    pub bytes: u64,
+    /// Monotonically increasing allocation order (0 = first allocation). With
+    /// first-touch placement, order determines which objects end up local.
+    pub order: usize,
+    /// Placement policy requested for this allocation.
+    pub policy: PlacementPolicy,
+    /// Whether the object has been freed.
+    pub freed: bool,
+}
+
+impl AllocationRecord {
+    /// Creates a new live allocation record.
+    pub fn new(
+        handle: ObjectHandle,
+        name: impl Into<String>,
+        site: impl Into<String>,
+        bytes: u64,
+        order: usize,
+        policy: PlacementPolicy,
+    ) -> Self {
+        Self {
+            handle,
+            name: name.into(),
+            site: site.into(),
+            bytes,
+            order,
+            policy,
+            freed: false,
+        }
+    }
+
+    /// Number of whole pages backing the object.
+    pub fn pages(&self) -> u64 {
+        crate::access::pages_for(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::PAGE_SIZE;
+
+    #[test]
+    fn default_policy_is_first_touch() {
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::FirstTouch);
+    }
+
+    #[test]
+    fn interleave_constructor() {
+        let p = PlacementPolicy::interleave(3, 1);
+        assert_eq!(p, PlacementPolicy::Interleave { local: 3, remote: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "interleave ratio")]
+    fn interleave_rejects_zero_ratio() {
+        let _ = PlacementPolicy::interleave(0, 0);
+    }
+
+    #[test]
+    fn allocation_record_pages() {
+        let rec = AllocationRecord::new(
+            ObjectHandle(0),
+            "A",
+            "test",
+            PAGE_SIZE * 2 + 1,
+            0,
+            PlacementPolicy::FirstTouch,
+        );
+        assert_eq!(rec.pages(), 3);
+        assert!(!rec.freed);
+    }
+
+    #[test]
+    fn handle_index() {
+        assert_eq!(ObjectHandle(7).index(), 7);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dismem-trace
+//!
+//! Foundational vocabulary for the dismem workspace: memory-access events,
+//! allocation records, phase markers, the [`MemoryEngine`] trait that workloads
+//! are written against, and a simple in-memory [`TraceRecorder`].
+//!
+//! The layering mirrors the paper's tooling: applications are instrumented with
+//! allocation hooks and `pf_start`/`pf_stop` phase markers, and the profiler
+//! consumes the resulting event stream. Here, proxy workloads drive any
+//! implementation of [`MemoryEngine`] — usually the simulator in `dismem-sim`,
+//! but also the lightweight recorder in this crate for unit testing.
+
+pub mod access;
+pub mod alloc;
+pub mod engine;
+pub mod histogram;
+pub mod phase;
+pub mod recorder;
+
+pub use access::{AccessKind, MemAccess, CACHE_LINE_SIZE, PAGE_SIZE};
+pub use alloc::{AllocationRecord, ObjectHandle, PlacementPolicy};
+pub use engine::MemoryEngine;
+pub use histogram::PageHistogram;
+pub use phase::{PhaseId, PhaseRecord};
+pub use recorder::{TraceRecorder, TraceStats};

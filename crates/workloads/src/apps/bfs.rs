@@ -1,0 +1,404 @@
+//! Ligra-style breadth-first search on an R-MAT graph.
+//!
+//! This proxy reproduces the BFS memory behaviour the paper analyses in depth
+//! (Section 7.1): a large CSR graph whose adjacency data is streamed, a small
+//! but very hot `Parents` array accessed randomly for every traversed edge,
+//! a temporary object left over from graph construction, and per-level
+//! dynamically allocated frontiers.
+//!
+//! With the default first-touch policy, the allocation order determines which
+//! objects end up in node-local memory once the local tier is smaller than
+//! the footprint. [`BfsOptimization`] exposes the three placements studied in
+//! the paper's first case study:
+//!
+//! * `Baseline` — Ligra's natural order: graph arrays first, `Parents` last,
+//!   construction temporary never freed;
+//! * `ReorderAllocations` — `Parents` allocated and initialized first, so the
+//!   hottest object lands in local memory;
+//! * `ReorderAndFreeTemp` — additionally frees the construction temporary
+//!   (the paper's "1-line change"), so dynamic frontier allocations can also
+//!   use local memory.
+
+use crate::generators::rmat::{rmat_graph, CsrGraph};
+use crate::workload::{InputScale, Workload};
+use dismem_trace::{AccessKind, MemoryEngine, ObjectHandle};
+
+/// Data-placement variant for the BFS case study (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BfsOptimization {
+    /// Natural Ligra allocation order, temporary kept alive.
+    #[default]
+    Baseline,
+    /// Allocate and initialize `Parents` before the graph arrays.
+    ReorderAllocations,
+    /// Reorder allocations and free the construction temporary after setup.
+    ReorderAndFreeTemp,
+}
+
+impl BfsOptimization {
+    /// All variants in the order the case study presents them.
+    pub fn all() -> [BfsOptimization; 3] {
+        [
+            BfsOptimization::Baseline,
+            BfsOptimization::ReorderAllocations,
+            BfsOptimization::ReorderAndFreeTemp,
+        ]
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BfsOptimization::Baseline => "baseline",
+            BfsOptimization::ReorderAllocations => "reorder-allocations",
+            BfsOptimization::ReorderAndFreeTemp => "reorder+free-temp",
+        }
+    }
+}
+
+/// BFS proxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsParams {
+    /// log2 of the number of vertices.
+    pub log_vertices: u32,
+    /// Average degree (directed edges per vertex before symmetrization).
+    pub avg_degree: usize,
+    /// Number of BFS traversals (from the highest-degree vertices).
+    pub sources: usize,
+    /// Data-placement variant.
+    pub optimization: BfsOptimization,
+    /// RNG seed for graph generation.
+    pub seed: u64,
+}
+
+impl BfsParams {
+    /// Simulation-friendly input sizes with the paper's 1:2:4 footprint ratio.
+    pub fn bench(scale: InputScale) -> Self {
+        let log_vertices = match scale {
+            InputScale::X1 => 20,
+            InputScale::X2 => 21,
+            InputScale::X4 => 22,
+        };
+        Self {
+            log_vertices,
+            avg_degree: 8,
+            sources: 1,
+            optimization: BfsOptimization::Baseline,
+            seed: 0xB55,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            log_vertices: 10,
+            avg_degree: 8,
+            sources: 1,
+            optimization: BfsOptimization::Baseline,
+            seed: 0xB55,
+        }
+    }
+
+    /// Returns a copy with a different placement variant.
+    pub fn with_optimization(mut self, optimization: BfsOptimization) -> Self {
+        self.optimization = optimization;
+        self
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> u64 {
+        1u64 << self.log_vertices
+    }
+
+    /// Approximate number of directed edges after symmetrization.
+    pub fn edges(&self) -> u64 {
+        self.vertices() * self.avg_degree as u64
+    }
+}
+
+/// The BFS proxy workload.
+#[derive(Debug)]
+pub struct Bfs {
+    params: BfsParams,
+    graph: std::sync::OnceLock<CsrGraph>,
+}
+
+impl Clone for Bfs {
+    fn clone(&self) -> Self {
+        Self {
+            params: self.params,
+            graph: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl Bfs {
+    /// Creates the workload. The graph is generated lazily on first use so
+    /// that merely instantiating a large configuration (e.g. to read its
+    /// footprint estimate) stays cheap; repeated runs of the same instance
+    /// traverse the same input.
+    pub fn new(params: BfsParams) -> Self {
+        Self {
+            params,
+            graph: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &BfsParams {
+        &self.params
+    }
+
+    /// The generated graph (generated on first call).
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph.get_or_init(|| {
+            let directed_edges = (self.params.vertices() as usize * self.params.avg_degree) / 2;
+            rmat_graph(self.params.log_vertices, directed_edges, self.params.seed)
+        })
+    }
+
+    fn alloc_parents(&self, engine: &mut dyn MemoryEngine) -> ObjectHandle {
+        let bytes = self.graph().num_vertices as u64 * 8;
+        let parents = engine.alloc("Parents", "bfs.rs:parents", bytes);
+        engine.touch(parents, bytes);
+        parents
+    }
+
+    fn build_graph(
+        &self,
+        engine: &mut dyn MemoryEngine,
+    ) -> (ObjectHandle, ObjectHandle, ObjectHandle) {
+        let offsets_bytes = self.graph().offsets_bytes();
+        let edges_bytes = self.graph().edges_bytes();
+        // The construction temporary: degree counters + permutation buffer
+        // (kept alive by the original code due to an allocator performance
+        // bug, per the paper).
+        let temp_bytes = self.graph().num_vertices as u64 * 16;
+
+        let offsets = engine.alloc("offsets", "bfs.rs:build", offsets_bytes);
+        let edges = engine.alloc("edges", "bfs.rs:build", edges_bytes);
+        let temp = engine.alloc("build-temp", "bfs.rs:build", temp_bytes);
+
+        // Graph construction: histogram degrees into the temporary, then fill
+        // offsets and edge lists.
+        engine.touch(temp, temp_bytes);
+        engine.access(temp, 0, temp_bytes, AccessKind::Read);
+        engine.touch(offsets, offsets_bytes);
+        engine.touch(edges, edges_bytes);
+        (offsets, edges, temp)
+    }
+
+    /// Runs the BFS traversal phase against already-allocated graph arrays.
+    fn traverse(
+        &self,
+        engine: &mut dyn MemoryEngine,
+        offsets: ObjectHandle,
+        edges: ObjectHandle,
+        parents: ObjectHandle,
+    ) {
+        let g = self.graph();
+        let mut parents_data = vec![u32::MAX; g.num_vertices];
+        let mut frontier_generation = 0usize;
+
+        for s in 0..self.params.sources {
+            // Pick distinct high-degree roots.
+            let mut roots: Vec<usize> = (0..g.num_vertices).collect();
+            roots.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+            let root = roots[s.min(roots.len() - 1)];
+            if parents_data[root] != u32::MAX {
+                continue;
+            }
+            parents_data[root] = root as u32;
+            engine.access(parents, root as u64 * 8, 8, AccessKind::Write);
+
+            let mut frontier = vec![root as u32];
+            while !frontier.is_empty() {
+                // Ligra allocates a fresh sparse frontier every level.
+                frontier_generation += 1;
+                let next_capacity_bytes = (frontier.len() as u64 * 8 * 4).max(4096);
+                let next_frontier_obj = engine.alloc(
+                    &format!("frontier-{frontier_generation}"),
+                    "bfs.rs:edge_map",
+                    next_capacity_bytes,
+                );
+                let mut next = Vec::new();
+                let mut appended: u64 = 0;
+
+                for &u in &frontier {
+                    let u = u as usize;
+                    // Read the two offsets bounding u's adjacency list.
+                    engine.access(offsets, u as u64 * 8, 16, AccessKind::Read);
+                    let neighbours = g.neighbours(u);
+                    if !neighbours.is_empty() {
+                        // Stream the adjacency slice.
+                        engine.access(
+                            edges,
+                            g.offsets[u] * 4,
+                            neighbours.len() as u64 * 4,
+                            AccessKind::Read,
+                        );
+                    }
+                    for &v in neighbours {
+                        let v = v as usize;
+                        // Check the parent of v (random access into Parents).
+                        engine.access(parents, v as u64 * 8, 8, AccessKind::Read);
+                        if parents_data[v] == u32::MAX {
+                            parents_data[v] = u as u32;
+                            engine.access(parents, v as u64 * 8, 8, AccessKind::Write);
+                            // Append to the dynamically allocated next frontier.
+                            engine.access(
+                                next_frontier_obj,
+                                (appended * 8).min(next_capacity_bytes - 8),
+                                8,
+                                AccessKind::Write,
+                            );
+                            appended += 1;
+                            next.push(v as u32);
+                        }
+                    }
+                    engine.flops(neighbours.len() as u64);
+                }
+
+                engine.free(next_frontier_obj);
+                frontier = next;
+            }
+        }
+    }
+}
+
+impl Workload for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn description(&self) -> &'static str {
+        "Graph processing benchmark of breadth-first search in the Ligra framework"
+    }
+
+    fn parallelization(&self) -> &'static str {
+        "OpenMP"
+    }
+
+    fn input_description(&self) -> String {
+        format!(
+            "symmetric rMat, N=2^{}, M≈{} ({})",
+            self.params.log_vertices,
+            self.params.edges(),
+            self.params.optimization.label()
+        )
+    }
+
+    fn expected_footprint_bytes(&self) -> u64 {
+        let n = self.params.vertices();
+        let m = self.params.edges();
+        (n + 1) * 8 // offsets
+            + m * 4 // edges
+            + n * 8 // Parents
+            + n * 16 // build temp
+    }
+
+    fn run(&self, engine: &mut dyn MemoryEngine) {
+        let opt = self.params.optimization;
+
+        engine.phase_start("p1-build");
+        let (offsets, edges, temp, parents) = match opt {
+            BfsOptimization::Baseline => {
+                let (offsets, edges, temp) = self.build_graph(engine);
+                let parents = self.alloc_parents(engine);
+                (offsets, edges, temp, parents)
+            }
+            BfsOptimization::ReorderAllocations | BfsOptimization::ReorderAndFreeTemp => {
+                // Hottest object first: with first-touch placement it lands in
+                // node-local memory.
+                let parents = self.alloc_parents(engine);
+                let (offsets, edges, temp) = self.build_graph(engine);
+                (offsets, edges, temp, parents)
+            }
+        };
+        if opt == BfsOptimization::ReorderAndFreeTemp {
+            // The paper's 1-line change: free the construction temporary so
+            // local capacity is available for the dynamic frontiers.
+            engine.free(temp);
+        }
+        engine.phase_end();
+
+        engine.phase_start("p2-bfs");
+        self.traverse(engine, offsets, edges, parents);
+        engine.phase_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::TraceRecorder;
+
+    fn run(opt: BfsOptimization) -> TraceRecorder {
+        let w = Bfs::new(BfsParams::tiny().with_optimization(opt));
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        rec
+    }
+
+    #[test]
+    fn traversal_visits_most_of_the_graph() {
+        let w = Bfs::new(BfsParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let stats = rec.stats();
+        // The BFS phase must read a significant share of the edge array.
+        let p2 = &stats.phases[1];
+        assert!(
+            p2.bytes_read > w.graph().edges_bytes() / 2,
+            "BFS read only {} bytes of a {}-byte edge array",
+            p2.bytes_read,
+            w.graph().edges_bytes()
+        );
+        // Graph processing has essentially no floating-point work.
+        assert!(p2.arithmetic_intensity() < 0.2);
+    }
+
+    #[test]
+    fn baseline_allocates_parents_after_graph() {
+        let rec = run(BfsOptimization::Baseline);
+        let order: Vec<_> = rec.allocations().iter().map(|a| a.name.clone()).collect();
+        let parents_pos = order.iter().position(|n| n == "Parents").unwrap();
+        let edges_pos = order.iter().position(|n| n == "edges").unwrap();
+        assert!(parents_pos > edges_pos);
+        // Temporary never freed in the baseline.
+        let temp = rec.allocations().iter().find(|a| a.name == "build-temp").unwrap();
+        assert!(!temp.freed);
+    }
+
+    #[test]
+    fn optimized_variant_allocates_parents_first_and_frees_temp() {
+        let rec = run(BfsOptimization::ReorderAndFreeTemp);
+        let order: Vec<_> = rec.allocations().iter().map(|a| a.name.clone()).collect();
+        let parents_pos = order.iter().position(|n| n == "Parents").unwrap();
+        let edges_pos = order.iter().position(|n| n == "edges").unwrap();
+        assert!(parents_pos < edges_pos);
+        let temp = rec.allocations().iter().find(|a| a.name == "build-temp").unwrap();
+        assert!(temp.freed);
+    }
+
+    #[test]
+    fn frontiers_are_dynamically_allocated_and_freed() {
+        let rec = run(BfsOptimization::Baseline);
+        let frontiers: Vec<_> = rec
+            .allocations()
+            .iter()
+            .filter(|a| a.name.starts_with("frontier-"))
+            .collect();
+        assert!(frontiers.len() >= 2, "expected one frontier per BFS level");
+        assert!(frontiers.iter().all(|f| f.freed));
+    }
+
+    #[test]
+    fn all_variants_do_the_same_traversal_work() {
+        // The placement variant must not change how much work the traversal
+        // itself does (only where the data lives).
+        let base = run(BfsOptimization::Baseline).stats();
+        let opt = run(BfsOptimization::ReorderAndFreeTemp).stats();
+        assert_eq!(base.phases[1].bytes_read, opt.phases[1].bytes_read);
+        assert_eq!(base.phases[1].flops, opt.phases[1].flops);
+    }
+}

@@ -1,0 +1,192 @@
+//! HPL proxy: blocked dense LU factorization with partial pivoting.
+//!
+//! Memory behaviour of the High Performance LINPACK benchmark: one large
+//! dense matrix streamed block-by-block in a right-looking factorization.
+//! The trailing-matrix update dominates both flops (`2/3 N^3`) and traffic
+//! (`~ N^3 / NB` bytes), giving the high arithmetic intensity and excellent
+//! prefetchability the paper reports (compute-bound, low interference
+//! sensitivity despite substantial pool traffic).
+
+use crate::workload::{InputScale, Workload};
+use dismem_trace::{AccessKind, MemoryEngine};
+
+/// HPL proxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HplParams {
+    /// Matrix dimension N (the matrix is N × N doubles).
+    pub n: usize,
+    /// Blocking factor NB.
+    pub block: usize,
+}
+
+impl HplParams {
+    /// Simulation-friendly input sizes with the paper's 1:2:4 footprint ratio.
+    pub fn bench(scale: InputScale) -> Self {
+        let n = match scale {
+            InputScale::X1 => 1536,
+            InputScale::X2 => 2176,
+            InputScale::X4 => 3072,
+        };
+        Self { n, block: 128 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { n: 96, block: 32 }
+    }
+
+    /// Matrix bytes.
+    pub fn matrix_bytes(&self) -> u64 {
+        (self.n * self.n * 8) as u64
+    }
+}
+
+/// The HPL proxy workload.
+#[derive(Debug, Clone)]
+pub struct Hpl {
+    params: HplParams,
+}
+
+impl Hpl {
+    /// Creates the workload.
+    pub fn new(params: HplParams) -> Self {
+        assert!(params.block > 0 && params.n >= params.block);
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &HplParams {
+        &self.params
+    }
+}
+
+impl Workload for Hpl {
+    fn name(&self) -> &'static str {
+        "HPL"
+    }
+
+    fn description(&self) -> &'static str {
+        "High Performance LINPACK benchmark, dense LU factorization with partial pivoting"
+    }
+
+    fn input_description(&self) -> String {
+        format!("N={}, NB={}", self.params.n, self.params.block)
+    }
+
+    fn expected_footprint_bytes(&self) -> u64 {
+        self.params.matrix_bytes() + (self.params.n as u64) * 8 * 2
+    }
+
+    fn run(&self, engine: &mut dyn MemoryEngine) {
+        let n = self.params.n;
+        let nb = self.params.block;
+
+        let a = engine.alloc("A", "hpl.rs:matrix", self.params.matrix_bytes());
+        let piv = engine.alloc("ipiv", "hpl.rs:pivot", (n * 8) as u64);
+        let work = engine.alloc("workspace", "hpl.rs:workspace", (n * 8) as u64);
+
+        // Phase 1: matrix generation (pseudo-random fill, purely streaming).
+        engine.phase_start("p1-generate");
+        engine.touch(a, self.params.matrix_bytes());
+        engine.touch(piv, (n * 8) as u64);
+        engine.touch(work, (n * 8) as u64);
+        engine.flops((n * n) as u64);
+        engine.phase_end();
+
+        // Phase 2: right-looking blocked LU factorization.
+        engine.phase_start("p2-factorize");
+        let steps = n / nb;
+        for k in 0..steps {
+            let col0 = k * nb;
+            let trailing = n - col0;
+
+            // Panel factorization: read/write the panel column block
+            // (rows col0..n, columns col0..col0+nb), row by row.
+            for row in col0..n {
+                let offset = (row * n + col0) as u64 * 8;
+                engine.access(a, offset, (nb * 8) as u64, AccessKind::Read);
+                engine.access(a, offset, (nb * 8) as u64, AccessKind::Write);
+            }
+            // Pivot search bookkeeping.
+            engine.access(piv, (col0 * 8) as u64, (nb * 8) as u64, AccessKind::Write);
+            engine.flops((nb * nb * trailing) as u64);
+
+            if trailing <= nb {
+                continue;
+            }
+            let rest = trailing - nb;
+
+            // Row swap + triangular solve of the U block row
+            // (rows col0..col0+nb, columns col0+nb..n).
+            for row in col0..col0 + nb {
+                let offset = (row * n + col0 + nb) as u64 * 8;
+                engine.access(a, offset, (rest * 8) as u64, AccessKind::Read);
+                engine.access(a, offset, (rest * 8) as u64, AccessKind::Write);
+            }
+            engine.flops((nb * nb * rest) as u64);
+
+            // Trailing matrix update: C -= L_panel * U_block. Each trailing
+            // row is read and written once per step; the panel block is
+            // cache-resident and re-read implicitly.
+            for row in col0 + nb..n {
+                let offset = (row * n + col0 + nb) as u64 * 8;
+                engine.access(a, offset, (rest * 8) as u64, AccessKind::Read);
+                engine.access(a, offset, (rest * 8) as u64, AccessKind::Write);
+            }
+            engine.flops((2 * nb * rest * rest) as u64);
+        }
+        engine.phase_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::TraceRecorder;
+
+    #[test]
+    fn flops_match_lu_asymptotics() {
+        let w = Hpl::new(HplParams { n: 256, block: 32 });
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let stats = rec.stats();
+        let expected = 2.0 / 3.0 * 256.0f64.powi(3);
+        let ratio = stats.total_flops as f64 / expected;
+        assert!(
+            (0.8..=1.4).contains(&ratio),
+            "flops {} vs 2/3 N^3 = {expected}",
+            stats.total_flops
+        );
+    }
+
+    #[test]
+    fn factorize_phase_dominates_traffic() {
+        let w = Hpl::new(HplParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let stats = rec.stats();
+        assert_eq!(stats.phases.len(), 2);
+        let p1 = &stats.phases[0];
+        let p2 = &stats.phases[1];
+        assert!(p2.bytes_read + p2.bytes_written > p1.bytes_read + p1.bytes_written);
+        // The factorization phase has much higher arithmetic intensity than
+        // the generation phase.
+        assert!(p2.arithmetic_intensity() > 4.0 * p1.arithmetic_intensity());
+    }
+
+    #[test]
+    fn footprint_is_matrix_dominated() {
+        let w = Hpl::new(HplParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let expected = HplParams::tiny().matrix_bytes();
+        let actual = rec.stats().peak_footprint_bytes;
+        assert!(actual >= expected && actual < expected + expected / 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_block_larger_than_matrix() {
+        let _ = Hpl::new(HplParams { n: 16, block: 32 });
+    }
+}

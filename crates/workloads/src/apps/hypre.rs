@@ -1,0 +1,183 @@
+//! Hypre proxy: structured-grid linear solver (stencil relaxation sweeps).
+//!
+//! Reproduces the memory behaviour of Hypre's structured interface (the
+//! paper's `ex4` input): a few large grid-shaped vectors streamed repeatedly
+//! by 7-point stencil sweeps. Very low arithmetic intensity, near-perfect
+//! streaming (high prefetch accuracy and coverage) — which is exactly why the
+//! paper finds Hypre to be among the most interference-sensitive workloads.
+
+use crate::workload::{InputScale, Workload};
+use dismem_trace::{AccessKind, MemoryEngine};
+
+/// Hypre proxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HypreParams {
+    /// Grid points per dimension (the grid is `n³` points).
+    pub n: usize,
+    /// Number of relaxation sweeps in the solve phase.
+    pub sweeps: usize,
+}
+
+impl HypreParams {
+    /// Simulation-friendly input sizes with the paper's 1:2:4 footprint ratio.
+    pub fn bench(scale: InputScale) -> Self {
+        let n = match scale {
+            InputScale::X1 => 112,
+            InputScale::X2 => 141,
+            InputScale::X4 => 178,
+        };
+        Self { n, sweeps: 6 }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { n: 16, sweeps: 2 }
+    }
+
+    /// Points in the grid.
+    pub fn points(&self) -> u64 {
+        (self.n * self.n * self.n) as u64
+    }
+
+    /// Bytes per grid-shaped vector of doubles.
+    pub fn vector_bytes(&self) -> u64 {
+        self.points() * 8
+    }
+}
+
+/// The Hypre proxy workload.
+#[derive(Debug, Clone)]
+pub struct Hypre {
+    params: HypreParams,
+}
+
+impl Hypre {
+    /// Creates the workload.
+    pub fn new(params: HypreParams) -> Self {
+        assert!(params.n >= 4 && params.sweeps >= 1);
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &HypreParams {
+        &self.params
+    }
+}
+
+impl Workload for Hypre {
+    fn name(&self) -> &'static str {
+        "Hypre"
+    }
+
+    fn description(&self) -> &'static str {
+        "Library of high-performance linear solvers (structured interface)"
+    }
+
+    fn input_description(&self) -> String {
+        format!("n={}³ grid, {} sweeps", self.params.n, self.params.sweeps)
+    }
+
+    fn expected_footprint_bytes(&self) -> u64 {
+        4 * self.params.vector_bytes()
+    }
+
+    fn run(&self, engine: &mut dyn MemoryEngine) {
+        let vbytes = self.params.vector_bytes();
+        let n = self.params.n;
+        let plane_bytes = (n * n * 8) as u64;
+
+        // Allocation order matches a typical structured-solver setup: matrix
+        // coefficients, right-hand side, solution, residual/temp.
+        let coeff = engine.alloc("stencil-coefficients", "hypre.rs:setup", vbytes);
+        let rhs = engine.alloc("rhs", "hypre.rs:setup", vbytes);
+        let x = engine.alloc("solution", "hypre.rs:setup", vbytes);
+        let tmp = engine.alloc("residual", "hypre.rs:setup", vbytes);
+
+        // Phase 1: grid setup and coefficient assembly (streaming writes).
+        engine.phase_start("p1-setup");
+        engine.touch(coeff, vbytes);
+        engine.touch(rhs, vbytes);
+        engine.touch(x, vbytes);
+        engine.touch(tmp, vbytes);
+        engine.flops(3 * self.params.points());
+        engine.phase_end();
+
+        // Phase 2: relaxation sweeps (7-point stencil Jacobi-style).
+        engine.phase_start("p2-solve");
+        for sweep in 0..self.params.sweeps {
+            // Alternate the roles of x and tmp each sweep (ping-pong).
+            let (src, dst) = if sweep % 2 == 0 { (x, tmp) } else { (tmp, x) };
+            for plane in 0..n {
+                let offset = plane as u64 * plane_bytes;
+                // Read the three planes of the source vector involved in the
+                // stencil (previous, current, next) — the previous/next planes
+                // are usually still in cache from the streaming pattern.
+                if plane > 0 {
+                    engine.access(src, offset - plane_bytes, plane_bytes, AccessKind::Read);
+                }
+                engine.access(src, offset, plane_bytes, AccessKind::Read);
+                if plane + 1 < n {
+                    engine.access(src, offset + plane_bytes, plane_bytes, AccessKind::Read);
+                }
+                // Coefficients and right-hand side for the current plane.
+                engine.access(coeff, offset, plane_bytes, AccessKind::Read);
+                engine.access(rhs, offset, plane_bytes, AccessKind::Read);
+                // Write the destination plane.
+                engine.access(dst, offset, plane_bytes, AccessKind::Write);
+                // 7-point stencil: ~8 flops per point.
+                engine.flops(8 * (n * n) as u64);
+            }
+        }
+        engine.phase_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::TraceRecorder;
+
+    #[test]
+    fn solve_phase_has_low_arithmetic_intensity() {
+        let w = Hypre::new(HypreParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let stats = rec.stats();
+        let solve = &stats.phases[1];
+        assert!(solve.arithmetic_intensity() < 1.0, "stencil sweeps must be memory bound");
+        assert!(solve.bytes_read > solve.bytes_written, "stencil reads more than it writes");
+    }
+
+    #[test]
+    fn traffic_scales_with_sweeps() {
+        let run = |sweeps| {
+            let w = Hypre::new(HypreParams { n: 16, sweeps });
+            let mut rec = TraceRecorder::new();
+            w.run(&mut rec);
+            let p = &rec.stats().phases[1];
+            p.bytes_read + p.bytes_written
+        };
+        let t2 = run(2);
+        let t4 = run(4);
+        assert!((t4 as f64 / t2 as f64 - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn footprint_is_four_vectors() {
+        let p = HypreParams::tiny();
+        let w = Hypre::new(p);
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        assert_eq!(rec.stats().peak_footprint_bytes, 4 * p.vector_bytes());
+        assert_eq!(rec.allocations().len(), 4);
+    }
+
+    #[test]
+    fn bench_scales_roughly_double_footprint() {
+        let f1 = HypreParams::bench(InputScale::X1).vector_bytes();
+        let f2 = HypreParams::bench(InputScale::X2).vector_bytes();
+        let f4 = HypreParams::bench(InputScale::X4).vector_bytes();
+        assert!((f2 as f64 / f1 as f64 - 2.0).abs() < 0.15);
+        assert!((f4 as f64 / f1 as f64 - 4.0).abs() < 0.3);
+    }
+}

@@ -1,0 +1,8 @@
+//! The six proxy applications of the paper's evaluation (Table 2).
+
+pub mod bfs;
+pub mod hpl;
+pub mod hypre;
+pub mod nekrs;
+pub mod superlu;
+pub mod xsbench;

@@ -1,0 +1,241 @@
+//! NekRS proxy: spectral-element computational fluid dynamics.
+//!
+//! Reproduces the memory behaviour of NekRS's `turbPipePeriodic` case: per
+//! timestep, every spectral element gathers its local degrees of freedom,
+//! applies small dense derivative operators (tensor contractions), and
+//! scatters results back, while several mesh-sized field vectors are streamed.
+//! The result is a memory-bound workload with mostly-sequential traffic
+//! (high prefetch coverage) and a moderate random gather/scatter component —
+//! the profile that makes NekRS one of the most interference-sensitive
+//! applications in the paper.
+
+use crate::workload::{InputScale, Workload};
+use dismem_trace::{AccessKind, MemoryEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NekRS proxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NekRsParams {
+    /// Number of spectral elements.
+    pub elements: usize,
+    /// Polynomial order + 1 (points per direction within an element).
+    pub poly_points: usize,
+    /// Number of timesteps.
+    pub timesteps: usize,
+    /// RNG seed for the gather/scatter pattern.
+    pub seed: u64,
+}
+
+impl NekRsParams {
+    /// Simulation-friendly input sizes with the paper's 1:2:4 footprint ratio.
+    pub fn bench(scale: InputScale) -> Self {
+        let elements = match scale {
+            InputScale::X1 => 1536,
+            InputScale::X2 => 3072,
+            InputScale::X4 => 6144,
+        };
+        Self {
+            elements,
+            poly_points: 8,
+            timesteps: 5,
+            seed: 0x5EC7,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            elements: 12,
+            poly_points: 4,
+            timesteps: 2,
+            seed: 7,
+        }
+    }
+
+    /// Points per element.
+    pub fn points_per_element(&self) -> u64 {
+        (self.poly_points * self.poly_points * self.poly_points) as u64
+    }
+
+    /// Total grid points.
+    pub fn total_points(&self) -> u64 {
+        self.points_per_element() * self.elements as u64
+    }
+
+    /// Bytes per field vector (one double per point).
+    pub fn field_bytes(&self) -> u64 {
+        self.total_points() * 8
+    }
+}
+
+/// The NekRS proxy workload.
+#[derive(Debug, Clone)]
+pub struct NekRs {
+    params: NekRsParams,
+}
+
+impl NekRs {
+    /// Creates the workload.
+    pub fn new(params: NekRsParams) -> Self {
+        assert!(params.elements > 0 && params.poly_points >= 2 && params.timesteps >= 1);
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &NekRsParams {
+        &self.params
+    }
+}
+
+impl Workload for NekRs {
+    fn name(&self) -> &'static str {
+        "NekRS"
+    }
+
+    fn description(&self) -> &'static str {
+        "Computational fluid dynamics based on the spectral element method"
+    }
+
+    fn parallelization(&self) -> &'static str {
+        "MPI"
+    }
+
+    fn input_description(&self) -> String {
+        format!(
+            "{} elements, p={} ({} points), {} timesteps",
+            self.params.elements,
+            self.params.poly_points - 1,
+            self.params.total_points(),
+            self.params.timesteps
+        )
+    }
+
+    fn expected_footprint_bytes(&self) -> u64 {
+        // velocity (3 components), pressure, rhs, geometry factors, mask.
+        7 * self.params.field_bytes()
+    }
+
+    fn run(&self, engine: &mut dyn MemoryEngine) {
+        let p = &self.params;
+        let fbytes = p.field_bytes();
+        let elem_bytes = p.points_per_element() * 8;
+        let mut rng = StdRng::seed_from_u64(p.seed);
+
+        // Field allocations in the order a Nek-like code sets them up.
+        let geom = engine.alloc("geometry-factors", "nekrs.rs:setup", fbytes);
+        let vel_x = engine.alloc("velocity-x", "nekrs.rs:setup", fbytes);
+        let vel_y = engine.alloc("velocity-y", "nekrs.rs:setup", fbytes);
+        let vel_z = engine.alloc("velocity-z", "nekrs.rs:setup", fbytes);
+        let pressure = engine.alloc("pressure", "nekrs.rs:setup", fbytes);
+        let rhs = engine.alloc("rhs", "nekrs.rs:setup", fbytes);
+        let mask = engine.alloc("gather-scatter-map", "nekrs.rs:setup", fbytes);
+        // Small dense operator matrices (cache resident).
+        let dmat = engine.alloc(
+            "derivative-matrix",
+            "nekrs.rs:setup",
+            (p.poly_points * p.poly_points * 8) as u64,
+        );
+
+        // Phase 1: mesh setup and field initialization.
+        engine.phase_start("p1-setup");
+        for field in [geom, vel_x, vel_y, vel_z, pressure, rhs, mask] {
+            engine.touch(field, fbytes);
+        }
+        engine.touch(dmat, (p.poly_points * p.poly_points * 8) as u64);
+        engine.flops(12 * p.total_points());
+        engine.phase_end();
+
+        // Phase 2: timestepping (advection-diffusion style operator
+        // evaluations element by element, plus gather/scatter exchange).
+        engine.phase_start("p2-timestep");
+        let pp = p.poly_points as u64;
+        let tensor_flops_per_element = 12 * pp * pp * pp * pp;
+        let boundary_points = (2 * p.poly_points * p.poly_points) as u64;
+        for _step in 0..p.timesteps {
+            for e in 0..p.elements {
+                let off = e as u64 * elem_bytes;
+                // Element-local operator evaluation: stream the element's
+                // slice of each field, read the small derivative matrix.
+                engine.access(geom, off, elem_bytes, AccessKind::Read);
+                engine.access(vel_x, off, elem_bytes, AccessKind::Read);
+                engine.access(vel_y, off, elem_bytes, AccessKind::Read);
+                engine.access(vel_z, off, elem_bytes, AccessKind::Read);
+                engine.access(dmat, 0, (p.poly_points * p.poly_points * 8) as u64, AccessKind::Read);
+                engine.access(rhs, off, elem_bytes, AccessKind::Write);
+                engine.flops(tensor_flops_per_element);
+
+                // Gather/scatter: exchange face values with randomly chosen
+                // neighbouring elements (indirect accesses into the mask map).
+                for _ in 0..boundary_points / 16 {
+                    let neighbour = rng.gen_range(0..p.elements) as u64;
+                    let point = rng.gen_range(0..p.points_per_element());
+                    let goff = neighbour * elem_bytes + point * 8;
+                    engine.access(mask, goff, 8, AccessKind::Read);
+                }
+            }
+            // Pressure solve iteration: stream pressure and rhs once.
+            engine.access(pressure, 0, fbytes, AccessKind::Read);
+            engine.access(rhs, 0, fbytes, AccessKind::Read);
+            engine.access(pressure, 0, fbytes, AccessKind::Write);
+            engine.flops(6 * p.total_points());
+        }
+        engine.phase_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::TraceRecorder;
+
+    #[test]
+    fn timestep_phase_is_memory_bound_but_not_trivially_so() {
+        let w = NekRs::new(NekRsParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let stats = rec.stats();
+        let p2 = &stats.phases[1];
+        let ai = p2.arithmetic_intensity();
+        assert!(ai > 0.2 && ai < 6.0, "NekRS AI should be moderate, got {ai}");
+    }
+
+    #[test]
+    fn traffic_scales_with_timesteps() {
+        let run = |timesteps| {
+            let w = NekRs::new(NekRsParams {
+                timesteps,
+                ..NekRsParams::tiny()
+            });
+            let mut rec = TraceRecorder::new();
+            w.run(&mut rec);
+            let p = &rec.stats().phases[1];
+            p.bytes_read + p.bytes_written
+        };
+        let t1 = run(1);
+        let t3 = run(3);
+        assert!((t3 as f64 / t1 as f64 - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn footprint_is_seven_fields() {
+        let p = NekRsParams::tiny();
+        let w = NekRs::new(p);
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let fp = rec.stats().peak_footprint_bytes;
+        assert!(fp >= 7 * p.field_bytes());
+        assert!(fp < 8 * p.field_bytes());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let w = NekRs::new(NekRsParams::tiny());
+            let mut rec = TraceRecorder::new();
+            w.run(&mut rec);
+            rec.stats().bytes_read
+        };
+        assert_eq!(run(), run());
+    }
+}

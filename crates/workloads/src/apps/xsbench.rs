@@ -1,0 +1,259 @@
+//! XSBench proxy: Monte Carlo neutron-transport cross-section lookups.
+//!
+//! Reproduces the memory behaviour of XSBench's `large` unionized-grid
+//! configuration: enormous grid structures are allocated, but each lookup
+//! touches only a handful of sampled points — a binary search over the
+//! unionized energy grid, the per-isotope cross-section values at the found
+//! gridpoint, and (for a fraction of lookups) a row of the huge index grid.
+//! The accesses are essentially random, so hardware prefetching provides
+//! almost no coverage and the application is latency-sensitive rather than
+//! bandwidth-hungry, with a very low remote-access ratio because the hot
+//! structures are small and allocated first (Section 5.1 of the paper).
+
+use crate::workload::{InputScale, Workload};
+use dismem_trace::{AccessKind, MemoryEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// XSBench proxy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsBenchParams {
+    /// Gridpoints per isotope.
+    pub gridpoints: usize,
+    /// Number of isotopes (nuclides).
+    pub isotopes: usize,
+    /// Number of macroscopic cross-section lookups.
+    pub lookups: usize,
+    /// Fraction (0–100) of lookups that also read a row of the unionized
+    /// index grid.
+    pub index_row_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl XsBenchParams {
+    /// Simulation-friendly input sizes with the paper's 1:2:4 footprint ratio.
+    pub fn bench(scale: InputScale) -> Self {
+        let gridpoints = match scale {
+            InputScale::X1 => 5_000,
+            InputScale::X2 => 10_000,
+            InputScale::X4 => 20_000,
+        };
+        Self {
+            gridpoints,
+            isotopes: 48,
+            lookups: 60_000,
+            index_row_percent: 10,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            gridpoints: 100,
+            isotopes: 48,
+            lookups: 500,
+            index_row_percent: 10,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Entries in the unionized energy grid.
+    pub fn unionized_points(&self) -> u64 {
+        (self.gridpoints * self.isotopes) as u64
+    }
+
+    /// Bytes of the unionized energy array (f64 per point).
+    pub fn energy_grid_bytes(&self) -> u64 {
+        self.unionized_points() * 8
+    }
+
+    /// Bytes of the per-isotope nuclide grids (6 doubles per point).
+    pub fn nuclide_grid_bytes(&self) -> u64 {
+        (self.isotopes * self.gridpoints * 6 * 8) as u64
+    }
+
+    /// Bytes of the unionized index grid (one u32 per isotope per unionized
+    /// point).
+    pub fn index_grid_bytes(&self) -> u64 {
+        self.unionized_points() * self.isotopes as u64 * 4
+    }
+}
+
+/// The XSBench proxy workload.
+#[derive(Debug, Clone)]
+pub struct XsBench {
+    params: XsBenchParams,
+}
+
+impl XsBench {
+    /// Creates the workload.
+    pub fn new(params: XsBenchParams) -> Self {
+        assert!(params.gridpoints > 1 && params.isotopes > 0 && params.lookups > 0);
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &XsBenchParams {
+        &self.params
+    }
+}
+
+impl Workload for XsBench {
+    fn name(&self) -> &'static str {
+        "XSBench"
+    }
+
+    fn description(&self) -> &'static str {
+        "Monte Carlo neutron transport proxy application"
+    }
+
+    fn input_description(&self) -> String {
+        format!(
+            "{} gridpoints, {} isotopes, {} lookups",
+            self.params.gridpoints, self.params.isotopes, self.params.lookups
+        )
+    }
+
+    fn expected_footprint_bytes(&self) -> u64 {
+        self.params.energy_grid_bytes()
+            + self.params.nuclide_grid_bytes()
+            + self.params.index_grid_bytes()
+    }
+
+    fn run(&self, engine: &mut dyn MemoryEngine) {
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(p.seed);
+
+        // Allocation order follows XSBench's initialization: the (relatively
+        // small, hot) energy and nuclide grids first, the huge unionized
+        // index grid last. Under first-touch placement this keeps the hot
+        // structures in node-local memory.
+        let energy = engine.alloc("unionized-energy-grid", "xsbench.rs:grid_init", p.energy_grid_bytes());
+        let nuclides = engine.alloc("nuclide-grids", "xsbench.rs:grid_init", p.nuclide_grid_bytes());
+        let index = engine.alloc("unionized-index-grid", "xsbench.rs:grid_init", p.index_grid_bytes());
+
+        // Phase 1: grid initialization (streaming writes over everything).
+        engine.phase_start("p1-grid-init");
+        engine.touch(energy, p.energy_grid_bytes());
+        engine.touch(nuclides, p.nuclide_grid_bytes());
+        engine.touch(index, p.index_grid_bytes());
+        engine.flops(p.unionized_points() * 2);
+        engine.phase_end();
+
+        // Phase 2: cross-section lookups.
+        engine.phase_start("p2-lookups");
+        let union_points = p.unionized_points();
+        let binsearch_steps = 64 - (union_points.leading_zeros() as u64).min(63);
+        let iso_stride = (p.gridpoints * 6 * 8) as u64;
+        for _ in 0..p.lookups {
+            // Sample a particle energy: binary search over the unionized grid.
+            let mut lo = 0u64;
+            let mut hi = union_points - 1;
+            let target = rng.gen_range(0..union_points);
+            for _ in 0..binsearch_steps {
+                if lo >= hi {
+                    break;
+                }
+                let mid = (lo + hi) / 2;
+                engine.access(energy, mid * 8, 8, AccessKind::Read);
+                if mid < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let gridpoint = (target % p.gridpoints as u64).min(p.gridpoints as u64 - 2);
+
+            // Occasionally consult the unionized index grid row (sequential
+            // within the row, random row).
+            if rng.gen_range(0..100) < p.index_row_percent {
+                let row = target * p.isotopes as u64 * 4;
+                engine.access(index, row, (p.isotopes * 4) as u64, AccessKind::Read);
+            }
+
+            // Gather the two bracketing gridpoints for every isotope and
+            // interpolate (6 values each).
+            for iso in 0..p.isotopes as u64 {
+                let base = iso * iso_stride + gridpoint * 48;
+                engine.access(nuclides, base, 96, AccessKind::Read);
+                engine.flops(12);
+            }
+            // Accumulate macroscopic cross sections.
+            engine.flops(p.isotopes as u64 * 6);
+        }
+        engine.phase_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::TraceRecorder;
+
+    #[test]
+    fn lookups_concentrate_on_a_small_fraction_of_the_footprint() {
+        let w = XsBench::new(XsBenchParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let stats = rec.stats();
+        // The initialization phase writes the entire footprint.
+        assert!(stats.phases[0].bytes_written >= stats.peak_footprint_bytes);
+        // The access distribution is skewed: most accesses land on the small
+        // hot structures (the paper's Figure 6f shape).
+        let footprint_pages = stats.peak_footprint_bytes.div_ceil(dismem_trace::PAGE_SIZE);
+        let share = rec.histogram().footprint_for_access_share(footprint_pages, 0.7);
+        assert!(
+            share < 0.5,
+            "70% of accesses should need < 50% of the footprint, got {share}"
+        );
+    }
+
+    #[test]
+    fn lookup_phase_has_very_low_arithmetic_intensity() {
+        let w = XsBench::new(XsBenchParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let ai = rec.stats().phases[1].arithmetic_intensity();
+        assert!(ai < 1.0, "lookup AI should be low, got {ai}");
+    }
+
+    #[test]
+    fn index_grid_is_the_largest_and_last_allocation() {
+        let w = XsBench::new(XsBenchParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let allocs = rec.allocations();
+        assert_eq!(allocs.last().unwrap().name, "unionized-index-grid");
+        let index_bytes = allocs.last().unwrap().bytes;
+        for a in allocs.iter().take(allocs.len() - 1) {
+            assert!(a.bytes < index_bytes);
+        }
+        // The hot structures fit in well under half of the footprint, so they
+        // can stay local even at a 50% pooling ratio.
+        let hot: u64 = allocs
+            .iter()
+            .filter(|a| a.name != "unionized-index-grid")
+            .map(|a| a.bytes)
+            .sum();
+        assert!(hot * 2 < rec.stats().peak_footprint_bytes);
+    }
+
+    #[test]
+    fn traffic_scales_with_lookup_count() {
+        let run = |lookups| {
+            let w = XsBench::new(XsBenchParams {
+                lookups,
+                ..XsBenchParams::tiny()
+            });
+            let mut rec = TraceRecorder::new();
+            w.run(&mut rec);
+            rec.stats().phases[1].bytes_read
+        };
+        let t1 = run(500);
+        let t2 = run(1000);
+        let ratio = t2 as f64 / t1 as f64;
+        assert!((1.7..=2.3).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Input generators for the proxy workloads: R-MAT graphs (BFS) and
+//! supernodal sparsity structures (SuperLU).
+
+pub mod rmat;
+pub mod supernodes;
+
+pub use rmat::{rmat_graph, CsrGraph};
+pub use supernodes::{generate_supernodes, Supernode, SupernodeStructure};

@@ -1,0 +1,219 @@
+//! Synthetic supernodal sparsity structures for the SuperLU proxy.
+//!
+//! Sparse LU factorization groups columns with identical sparsity patterns
+//! into supernodes (dense column panels). During factorization each supernode
+//! is factored as a dense panel and then updates a set of later supernodes
+//! (its ancestors in the elimination DAG). The generator below produces a
+//! structure with the qualitative properties of matrices like the paper's
+//! SiO / H2O / Si34H36 inputs: panel heights grow towards the end of the
+//! factorization (fill-in accumulates) and each supernode updates a handful
+//! of mostly-nearby later supernodes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One supernode (dense column panel) of the factor.
+#[derive(Debug, Clone)]
+pub struct Supernode {
+    /// First column of the panel.
+    pub start_col: usize,
+    /// Number of columns in the panel.
+    pub width: usize,
+    /// Number of rows in the panel (diagonal block plus below-diagonal rows).
+    pub height: usize,
+    /// Offset (in elements) of this panel inside the packed factor array.
+    pub panel_offset: u64,
+    /// Indices of later supernodes updated by this panel.
+    pub updates: Vec<usize>,
+}
+
+impl Supernode {
+    /// Elements stored for this panel.
+    pub fn elements(&self) -> u64 {
+        (self.width * self.height) as u64
+    }
+
+    /// Dense factorization flops for this panel plus its updates
+    /// (`~ width^2 * height` for the panel factorization and a rank-`width`
+    /// update per target).
+    pub fn factor_flops(&self) -> u64 {
+        (2 * self.width * self.width * self.height) as u64
+    }
+}
+
+/// A full supernodal structure.
+#[derive(Debug, Clone)]
+pub struct SupernodeStructure {
+    /// Supernodes in elimination order.
+    pub supernodes: Vec<Supernode>,
+    /// Total number of columns in the matrix.
+    pub num_cols: usize,
+    /// Total elements in the packed factor (L + U) array.
+    pub factor_elements: u64,
+    /// Non-zeros of the original matrix A (before fill-in).
+    pub matrix_nnz: u64,
+}
+
+impl SupernodeStructure {
+    /// Bytes of the packed factor array (f64 elements).
+    pub fn factor_bytes(&self) -> u64 {
+        self.factor_elements * 8
+    }
+
+    /// Bytes of the original matrix (values + indices, ~12 bytes/nnz).
+    pub fn matrix_bytes(&self) -> u64 {
+        self.matrix_nnz * 12
+    }
+
+    /// Total factorization flops.
+    pub fn total_flops(&self) -> u64 {
+        self.supernodes.iter().map(|s| s.factor_flops()).sum()
+    }
+}
+
+/// Generates a supernodal structure.
+///
+/// * `num_cols` — matrix dimension;
+/// * `avg_width` — average supernode width (columns per panel);
+/// * `fill_growth` — how quickly panel heights grow towards the end of the
+///   elimination (0.0 = constant height, 1.0 = strong fill-in);
+/// * `seed` — RNG seed.
+pub fn generate_supernodes(
+    num_cols: usize,
+    avg_width: usize,
+    fill_growth: f64,
+    seed: u64,
+) -> SupernodeStructure {
+    assert!(num_cols > 0 && avg_width > 0, "empty structure requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut supernodes = Vec::new();
+    let mut col = 0usize;
+    let mut offset = 0u64;
+
+    while col < num_cols {
+        let jitter = rng.gen_range(0.5..1.5);
+        let width = ((avg_width as f64 * jitter) as usize).clamp(1, num_cols - col);
+        // Height: remaining columns below the diagonal shrink towards the end,
+        // but fill-in makes panels denser relative to the remaining size.
+        let remaining = num_cols - col;
+        let progress = col as f64 / num_cols as f64;
+        let density = 0.02 + fill_growth * 0.04 * progress;
+        let below = ((remaining as f64) * density) as usize;
+        let height = width + below.min(remaining);
+        supernodes.push(Supernode {
+            start_col: col,
+            width,
+            height,
+            panel_offset: offset,
+            updates: Vec::new(),
+        });
+        offset += (width * height) as u64;
+        col += width;
+    }
+
+    // Each supernode updates a handful of later supernodes: mostly its
+    // immediate successors (elimination-tree parent chain) plus a few farther
+    // ones.
+    let count = supernodes.len();
+    for i in 0..count {
+        let mut updates = Vec::new();
+        let max_targets = (count - i - 1).min(12);
+        if max_targets > 0 {
+            let near = max_targets.min(3 + (rng.gen_range(0..3)));
+            for t in 1..=near {
+                updates.push(i + t);
+            }
+            // A few scattered distant updates.
+            let far = rng.gen_range(0..3.min(max_targets));
+            for _ in 0..far {
+                let target = rng.gen_range(i + 1..count);
+                if !updates.contains(&target) {
+                    updates.push(target);
+                }
+            }
+        }
+        supernodes[i].updates = updates;
+    }
+
+    let factor_elements = offset;
+    let matrix_nnz = (factor_elements / 4).max(num_cols as u64);
+    SupernodeStructure {
+        supernodes,
+        num_cols,
+        factor_elements,
+        matrix_nnz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_columns_without_overlap() {
+        let s = generate_supernodes(5000, 24, 0.5, 11);
+        let mut col = 0;
+        for sn in &s.supernodes {
+            assert_eq!(sn.start_col, col, "panels must tile the columns");
+            col += sn.width;
+        }
+        assert_eq!(col, 5000);
+        assert_eq!(s.num_cols, 5000);
+    }
+
+    #[test]
+    fn panel_offsets_are_packed() {
+        let s = generate_supernodes(2000, 16, 0.5, 3);
+        let mut expected = 0u64;
+        for sn in &s.supernodes {
+            assert_eq!(sn.panel_offset, expected);
+            expected += sn.elements();
+        }
+        assert_eq!(s.factor_elements, expected);
+        assert!(s.factor_bytes() > s.matrix_bytes() / 4);
+    }
+
+    #[test]
+    fn updates_point_forward_only() {
+        let s = generate_supernodes(3000, 20, 0.6, 5);
+        for (i, sn) in s.supernodes.iter().enumerate() {
+            for &t in &sn.updates {
+                assert!(t > i, "update targets must come later in elimination order");
+                assert!(t < s.supernodes.len());
+            }
+        }
+        // The last supernode has no one left to update.
+        assert!(s.supernodes.last().unwrap().updates.is_empty());
+    }
+
+    #[test]
+    fn heights_are_at_least_width() {
+        let s = generate_supernodes(1000, 8, 0.3, 1);
+        for sn in &s.supernodes {
+            assert!(sn.height >= sn.width);
+            assert!(sn.elements() > 0);
+        }
+        assert!(s.total_flops() > 0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_supernodes(1000, 8, 0.5, 42);
+        let b = generate_supernodes(1000, 8, 0.5, 42);
+        assert_eq!(a.factor_elements, b.factor_elements);
+        assert_eq!(a.supernodes.len(), b.supernodes.len());
+    }
+
+    #[test]
+    fn fill_growth_increases_factor_size() {
+        let low = generate_supernodes(4000, 16, 0.1, 7);
+        let high = generate_supernodes(4000, 16, 1.0, 7);
+        assert!(high.factor_elements > low.factor_elements);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty structure")]
+    fn rejects_empty_input() {
+        let _ = generate_supernodes(0, 8, 0.5, 0);
+    }
+}

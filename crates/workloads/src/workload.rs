@@ -1,0 +1,312 @@
+//! The [`Workload`] trait, input scales and the workload registry (Table 2).
+
+use dismem_trace::MemoryEngine;
+use serde::{Deserialize, Serialize};
+
+/// Input-problem scale. The paper evaluates three input problems per
+/// application with an approximately 1 : 2 : 4 memory-usage ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputScale {
+    /// Baseline input (×1).
+    X1,
+    /// Roughly doubled memory usage (×2).
+    X2,
+    /// Roughly quadrupled memory usage (×4).
+    X4,
+}
+
+impl InputScale {
+    /// All scales in increasing order.
+    pub fn all() -> [InputScale; 3] {
+        [InputScale::X1, InputScale::X2, InputScale::X4]
+    }
+
+    /// Multiplier relative to the ×1 input.
+    pub fn factor(self) -> u64 {
+        match self {
+            InputScale::X1 => 1,
+            InputScale::X2 => 2,
+            InputScale::X4 => 4,
+        }
+    }
+
+    /// Label used in the paper's figures (`x1`, `x2`, `x4`).
+    pub fn label(self) -> &'static str {
+        match self {
+            InputScale::X1 => "x1",
+            InputScale::X2 => "x2",
+            InputScale::X4 => "x4",
+        }
+    }
+}
+
+/// A proxy HPC application that can run on any [`MemoryEngine`].
+///
+/// Implementations are `Send + Sync` so parameter sweeps and scheduling
+/// campaigns can run independent simulations in parallel.
+pub trait Workload: Send + Sync {
+    /// Short workload name as used in the paper's figures ("HPL", "BFS", ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line description (Table 2).
+    fn description(&self) -> &'static str;
+
+    /// Parallelization model of the original application (Table 2).
+    fn parallelization(&self) -> &'static str {
+        "MPI+OpenMP"
+    }
+
+    /// Description of the configured input problem.
+    fn input_description(&self) -> String;
+
+    /// Estimated peak memory footprint in bytes for the configured input.
+    /// Used to derive the local-tier capacity for pooling experiments without
+    /// a prior profiling run.
+    fn expected_footprint_bytes(&self) -> u64;
+
+    /// Runs the workload against a memory engine, issuing allocations, phase
+    /// markers, memory accesses and flops.
+    fn run(&self, engine: &mut dyn MemoryEngine);
+}
+
+/// The set of applications evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// High Performance LINPACK: dense LU factorization with partial pivoting.
+    Hpl,
+    /// Hypre: structured-interface linear solvers (stencil relaxation).
+    Hypre,
+    /// NekRS: spectral-element computational fluid dynamics.
+    NekRs,
+    /// Ligra breadth-first search on an R-MAT graph.
+    Bfs,
+    /// SuperLU: supernodal sparse LU factorization.
+    SuperLu,
+    /// XSBench: Monte Carlo neutron-transport cross-section lookup proxy.
+    XsBench,
+}
+
+impl WorkloadKind {
+    /// All workloads in the paper's usual presentation order.
+    pub fn all() -> [WorkloadKind; 6] {
+        [
+            WorkloadKind::Hpl,
+            WorkloadKind::Hypre,
+            WorkloadKind::NekRs,
+            WorkloadKind::Bfs,
+            WorkloadKind::SuperLu,
+            WorkloadKind::XsBench,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Hpl => "HPL",
+            WorkloadKind::Hypre => "Hypre",
+            WorkloadKind::NekRs => "NekRS",
+            WorkloadKind::Bfs => "BFS",
+            WorkloadKind::SuperLu => "SuperLU",
+            WorkloadKind::XsBench => "XSBench",
+        }
+    }
+
+    /// Abbreviation used in some of the paper's figures (e.g. `XS`, `Nek`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            WorkloadKind::Hpl => "HPL",
+            WorkloadKind::Hypre => "Hypre",
+            WorkloadKind::NekRs => "Nek",
+            WorkloadKind::Bfs => "BFS",
+            WorkloadKind::SuperLu => "SuperLU",
+            WorkloadKind::XsBench => "XS",
+        }
+    }
+
+    /// Instantiates the workload at a given scale with benchmark-sized
+    /// (simulation-friendly) inputs.
+    pub fn instantiate(self, scale: InputScale) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Hpl => Box::new(crate::Hpl::new(crate::HplParams::bench(scale))),
+            WorkloadKind::Hypre => Box::new(crate::Hypre::new(crate::HypreParams::bench(scale))),
+            WorkloadKind::NekRs => Box::new(crate::NekRs::new(crate::NekRsParams::bench(scale))),
+            WorkloadKind::Bfs => Box::new(crate::Bfs::new(crate::BfsParams::bench(scale))),
+            WorkloadKind::SuperLu => {
+                Box::new(crate::SuperLu::new(crate::SuperLuParams::bench(scale)))
+            }
+            WorkloadKind::XsBench => {
+                Box::new(crate::XsBench::new(crate::XsBenchParams::bench(scale)))
+            }
+        }
+    }
+
+    /// Instantiates a deliberately tiny configuration for unit and
+    /// integration tests (runs in milliseconds even on the full simulator in
+    /// debug builds).
+    pub fn instantiate_tiny(self) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Hpl => Box::new(crate::Hpl::new(crate::HplParams::tiny())),
+            WorkloadKind::Hypre => Box::new(crate::Hypre::new(crate::HypreParams::tiny())),
+            WorkloadKind::NekRs => Box::new(crate::NekRs::new(crate::NekRsParams::tiny())),
+            WorkloadKind::Bfs => Box::new(crate::Bfs::new(crate::BfsParams::tiny())),
+            WorkloadKind::SuperLu => Box::new(crate::SuperLu::new(crate::SuperLuParams::tiny())),
+            WorkloadKind::XsBench => Box::new(crate::XsBench::new(crate::XsBenchParams::tiny())),
+        }
+    }
+
+    /// The input problems listed in the paper's Table 2 for this application.
+    pub fn paper_inputs(self) -> [&'static str; 3] {
+        match self {
+            WorkloadKind::Hpl => ["N=20000", "N=28280", "N=40000"],
+            WorkloadKind::Hypre => [
+                "ex4 10 times, n=6300, ranks=1",
+                "ex4 10 times, n=6300, ranks=2",
+                "ex4 10 times, n=6300, ranks=4",
+            ],
+            WorkloadKind::NekRs => [
+                "turbPipePeriodic, p=5, dt=1e-2",
+                "turbPipePeriodic, p=7, dt=6e-3",
+                "turbPipePeriodic, p=9, dt=1e-3",
+            ],
+            WorkloadKind::Bfs => [
+                "symmetric rMat, N=2^24, M=2^28.24",
+                "symmetric rMat, N=2^25, M=2^29.25",
+                "symmetric rMat, N=2^26, M=2^30.25",
+            ],
+            WorkloadKind::SuperLu => [
+                "SiO (nnz=1.3M)",
+                "H2O (nnz=2.2M)",
+                "Si34H36 (nnz=5.2M)",
+            ],
+            WorkloadKind::XsBench => [
+                "large, 2M particles, 11303 gridpoints",
+                "large, 2M particles, 22606 gridpoints",
+                "large, 2M particles, 45212 gridpoints",
+            ],
+        }
+    }
+
+    /// Parallelization column of Table 2.
+    pub fn parallelization(self) -> &'static str {
+        match self {
+            WorkloadKind::Bfs => "OpenMP",
+            WorkloadKind::NekRs => "MPI",
+            _ => "MPI+OpenMP",
+        }
+    }
+
+    /// Description column of Table 2.
+    pub fn description(self) -> &'static str {
+        match self {
+            WorkloadKind::Hpl => {
+                "High Performance LINPACK benchmark, dense LU factorization with partial pivoting"
+            }
+            WorkloadKind::Hypre => {
+                "Library of high-performance linear solvers (structured interface)"
+            }
+            WorkloadKind::NekRs => {
+                "Computational fluid dynamics based on the spectral element method"
+            }
+            WorkloadKind::Bfs => {
+                "Graph processing benchmark of breadth-first search in the Ligra framework"
+            }
+            WorkloadKind::SuperLu => "Sparse LU factorization",
+            WorkloadKind::XsBench => "Monte Carlo neutron transport proxy application",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::TraceRecorder;
+
+    #[test]
+    fn scales_have_doubling_factors() {
+        assert_eq!(InputScale::X1.factor(), 1);
+        assert_eq!(InputScale::X2.factor(), 2);
+        assert_eq!(InputScale::X4.factor(), 4);
+        assert_eq!(InputScale::all().len(), 3);
+        assert_eq!(InputScale::X2.label(), "x2");
+    }
+
+    #[test]
+    fn registry_lists_all_six_paper_workloads() {
+        let kinds = WorkloadKind::all();
+        assert_eq!(kinds.len(), 6);
+        let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        for expected in ["HPL", "Hypre", "NekRS", "BFS", "SuperLU", "XSBench"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_tiny_workload_runs_on_the_recorder() {
+        for kind in WorkloadKind::all() {
+            let w = kind.instantiate_tiny();
+            let mut rec = TraceRecorder::new();
+            w.run(&mut rec);
+            let stats = rec.stats();
+            assert!(stats.bytes_read + stats.bytes_written > 0, "{} moved no data", w.name());
+            assert!(
+                stats.phases.len() >= 2,
+                "{} must have at least two phases (init + compute)",
+                w.name()
+            );
+            assert!(stats.peak_footprint_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn table2_metadata_is_present() {
+        for kind in WorkloadKind::all() {
+            assert!(!kind.description().is_empty());
+            assert!(!kind.parallelization().is_empty());
+            assert_eq!(kind.paper_inputs().len(), 3);
+        }
+        assert_eq!(WorkloadKind::Bfs.parallelization(), "OpenMP");
+        assert_eq!(WorkloadKind::XsBench.short_name(), "XS");
+    }
+
+    #[test]
+    fn footprint_estimates_scale_with_input() {
+        for kind in WorkloadKind::all() {
+            let f1 = kind.instantiate(InputScale::X1).expected_footprint_bytes();
+            let f2 = kind.instantiate(InputScale::X2).expected_footprint_bytes();
+            let f4 = kind.instantiate(InputScale::X4).expected_footprint_bytes();
+            assert!(
+                f2 as f64 >= 1.5 * f1 as f64 && f2 as f64 <= 2.8 * f1 as f64,
+                "{}: x2 footprint {} not ~2x of {}",
+                kind.name(),
+                f2,
+                f1
+            );
+            assert!(
+                f4 as f64 >= 3.0 * f1 as f64 && f4 as f64 <= 5.5 * f1 as f64,
+                "{}: x4 footprint {} not ~4x of {}",
+                kind.name(),
+                f4,
+                f1
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_footprint_roughly_matches_estimate() {
+        // The declared estimate should be within a factor of two of what the
+        // workload actually allocates (checked on the tiny configs).
+        for kind in WorkloadKind::all() {
+            let w = kind.instantiate_tiny();
+            let mut rec = TraceRecorder::new();
+            w.run(&mut rec);
+            let actual = rec.stats().peak_footprint_bytes as f64;
+            let estimate = w.expected_footprint_bytes() as f64;
+            let ratio = estimate / actual;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{}: estimate {estimate} vs actual {actual} (ratio {ratio})",
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Roofline and bandwidth-capacity analysis of a single workload
+//! (paper Sections 3.4 and 4.1).
+//!
+//! ```sh
+//! cargo run --release --example roofline_analysis
+//! ```
+
+use dismem::analysis::{MultiTierRoofline, Roofline};
+use dismem::profiler::level1::level1_profile;
+use dismem::sim::MachineConfig;
+use dismem::workloads::WorkloadKind;
+
+fn main() {
+    let machine = MachineConfig::scaled_testbed();
+    let roofline = Roofline::new(machine.peak_flops, machine.local.bandwidth_bps);
+    let multi = MultiTierRoofline::new(
+        machine.peak_flops,
+        machine.local.bandwidth_bps,
+        machine.pool.bandwidth_bps,
+    );
+
+    println!(
+        "Machine roofline: {:.0} Gflop/s peak, {:.0} GB/s local memory, ridge point at {:.1} flop/B.",
+        machine.peak_flops / 1e9,
+        machine.local.bandwidth_bps / 1e9,
+        roofline.ridge_point()
+    );
+    println!(
+        "Adding the memory pool raises the aggregate bandwidth ceiling to {:.0} GB/s; the \
+         balanced remote-access ratio (the paper's R_BW reference) is {:.0}%.\n",
+        multi.aggregate().peak_bandwidth / 1e9,
+        100.0 * multi.optimal_remote_access_ratio()
+    );
+
+    for kind in [WorkloadKind::Hpl, WorkloadKind::Bfs, WorkloadKind::XsBench] {
+        let w = kind.instantiate_tiny();
+        let report = level1_profile(w.as_ref(), &machine);
+        println!("{} ({}):", kind.name(), w.input_description());
+        for p in &report.phases {
+            let regime = if roofline.is_memory_bound(p.arithmetic_intensity) {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            };
+            println!(
+                "  {:<12} AI {:>7.3} flop/B  -> attainable {:>7.1} Gflop/s, achieved {:>7.2} Gflop/s ({regime})",
+                p.label,
+                p.arithmetic_intensity,
+                roofline.attainable(p.arithmetic_intensity) / 1e9,
+                p.gflops,
+            );
+        }
+        // Bandwidth-capacity scaling curve summary (Figure 6).
+        let f50 = report.footprint_for_access_share(0.5);
+        let f90 = report.footprint_for_access_share(0.9);
+        println!(
+            "  access skew: 50% of accesses hit {:.0}% of the footprint, 90% hit {:.0}%\n",
+            100.0 * f50,
+            100.0 * f90
+        );
+    }
+}
