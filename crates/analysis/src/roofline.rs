@@ -113,7 +113,10 @@ impl MultiTierRoofline {
     /// Roofline using both tiers concurrently (the dashed line of Figure 5):
     /// the aggregate bandwidth ceiling.
     pub fn aggregate(&self) -> Roofline {
-        Roofline::new(self.peak_flops, self.local_bandwidth + self.remote_bandwidth)
+        Roofline::new(
+            self.peak_flops,
+            self.local_bandwidth + self.remote_bandwidth,
+        )
     }
 
     /// Effective memory bandwidth when a fraction `remote_access_ratio` of

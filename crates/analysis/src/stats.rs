@@ -40,7 +40,10 @@ pub fn mean(values: &[f64]) -> f64 {
 /// Linear-interpolated percentile (`p` in 0–100). Panics on an empty slice.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile must be within 0..=100");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be within 0..=100"
+    );
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     if sorted.len() == 1 {

@@ -63,6 +63,7 @@ pub struct MemoryTrendPoint {
 }
 
 /// The Top-10 systems of the paper's Table 1.
+#[rustfmt::skip]
 pub fn top10_systems() -> Vec<SystemSpec> {
     vec![
         SystemSpec { name: "Frontier", rank: 1, year: 2022, ddr_per_node_gib: 512, hbm_per_node_gib: 512, hbm_bw_per_node_tbs: 12.8, nodes: 9_408 },
@@ -102,6 +103,7 @@ pub fn estimate_costs(
 
 /// Memory capacity and bandwidth per node of leadership systems over the last
 /// 15 years (Figure 1).
+#[rustfmt::skip]
 pub fn memory_evolution() -> Vec<MemoryTrendPoint> {
     vec![
         MemoryTrendPoint { year: 2008, system: "Roadrunner", capacity_per_node_gib: 16, bandwidth_per_node_gbs: 21.0 },
@@ -136,8 +138,16 @@ mod tests {
         let costs = estimate_costs(&systems, DEFAULT_DDR_USD_PER_GIB, 4.0);
         let frontier = costs.iter().find(|c| c.name == "Frontier").unwrap();
         // Paper: ~$34M DDR and ~$135M HBM for Frontier.
-        assert!((frontier.ddr_cost_musd - 34.0).abs() < 8.0, "{}", frontier.ddr_cost_musd);
-        assert!((frontier.hbm_cost_musd - 135.0).abs() < 30.0, "{}", frontier.hbm_cost_musd);
+        assert!(
+            (frontier.ddr_cost_musd - 34.0).abs() < 8.0,
+            "{}",
+            frontier.ddr_cost_musd
+        );
+        assert!(
+            (frontier.hbm_cost_musd - 135.0).abs() < 30.0,
+            "{}",
+            frontier.hbm_cost_musd
+        );
         let fugaku = costs.iter().find(|c| c.name == "Fugaku").unwrap();
         assert_eq!(fugaku.ddr_cost_musd, 0.0);
         assert!((fugaku.hbm_cost_musd - 142.0).abs() < 35.0);

@@ -27,7 +27,11 @@ fn sparkline(values: &[u64]) -> String {
 
 fn main() {
     let config = base_config();
-    let kinds = [WorkloadKind::NekRs, WorkloadKind::Hpl, WorkloadKind::XsBench];
+    let kinds = [
+        WorkloadKind::NekRs,
+        WorkloadKind::Hpl,
+        WorkloadKind::XsBench,
+    ];
 
     let mut rows = Vec::new();
     let mut outputs = Vec::new();
@@ -37,7 +41,11 @@ fn main() {
         let t = &report.timeline;
         let total_with: u64 = t.with_prefetch.iter().sum();
         let total_without: u64 = t.without_prefetch.iter().sum();
-        println!("\n{} — L2 lines fetched per time bucket ({:.2} ms buckets):", kind.name(), t.bucket_s * 1e3);
+        println!(
+            "\n{} — L2 lines fetched per time bucket ({:.2} ms buckets):",
+            kind.name(),
+            t.bucket_s * 1e3
+        );
         println!("  with prefetch    {}", sparkline(&t.with_prefetch));
         println!("  without prefetch {}", sparkline(&t.without_prefetch));
         rows.push(Row::new(
@@ -45,7 +53,10 @@ fn main() {
             vec![
                 format!("{:.2e}", total_with as f64),
                 format!("{:.2e}", total_without as f64),
-                format!("{:+.1}%", 100.0 * (total_with as f64 / total_without as f64 - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (total_with as f64 / total_without as f64 - 1.0)
+                ),
                 format!("{:.0}%", 100.0 * report.prefetch.coverage),
                 format!("{:+.0}%", 100.0 * report.prefetch.performance_gain),
             ],
@@ -61,7 +72,13 @@ fn main() {
     }
     print_table(
         "Figure 7 — total L2 line fills with/without prefetching",
-        &["lines (pf on)", "lines (pf off)", "extra traffic", "coverage", "perf gain"],
+        &[
+            "lines (pf on)",
+            "lines (pf off)",
+            "extra traffic",
+            "coverage",
+            "perf gain",
+        ],
         &rows,
     );
     println!(

@@ -54,7 +54,13 @@ fn main() {
     }
     print_table(
         "Figure 8 — prefetching suitability (measured | paper acc/cov/excess/gain)",
-        &["accuracy", "coverage", "excess traffic", "perf gain", "paper (a/c/e/g)"],
+        &[
+            "accuracy",
+            "coverage",
+            "excess traffic",
+            "perf gain",
+            "paper (a/c/e/g)",
+        ],
         &rows,
     );
     println!(

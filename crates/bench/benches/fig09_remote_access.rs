@@ -33,7 +33,11 @@ fn main() {
             }
             for phase in &report.phases {
                 rows.push(Row::new(
-                    format!("{}-{}", kind.short_name(), &phase.label[phase.label.rfind('p').unwrap_or(0)..]),
+                    format!(
+                        "{}-{}",
+                        kind.short_name(),
+                        &phase.label[phase.label.rfind('p').unwrap_or(0)..]
+                    ),
                     vec![
                         format!("{:.1}%", 100.0 * phase.remote_access_ratio),
                         format!("{:.1}%", 100.0 * report.remote_capacity_ratio),
@@ -59,7 +63,11 @@ fn main() {
                     .map(|p| (p.label.clone(), p.remote_access_ratio))
                     .collect(),
             });
-            eprintln!("  [fig09] {} at {:.0}% local", kind.name(), local_fraction * 100.0);
+            eprintln!(
+                "  [fig09] {} at {:.0}% local",
+                kind.name(),
+                local_fraction * 100.0
+            );
         }
         print_table(
             &format!(

@@ -32,8 +32,14 @@ fn main() {
             Row::new(
                 format!("configured {t:.0}%"),
                 vec![
-                    format!("{:.1}% (NFLOP={})", cal1[i].measured_loi_percent, cal1[i].flops_per_element),
-                    format!("{:.1}% (NFLOP={})", cal2[i].measured_loi_percent, cal2[i].flops_per_element),
+                    format!(
+                        "{:.1}% (NFLOP={})",
+                        cal1[i].measured_loi_percent, cal1[i].flops_per_element
+                    ),
+                    format!(
+                        "{:.1}% (NFLOP={})",
+                        cal2[i].measured_loi_percent, cal2[i].flops_per_element
+                    ),
                 ],
             )
         })
@@ -76,10 +82,7 @@ fn main() {
         let cfg = pooled_config(&config, w.as_ref(), 0.5);
         let report = run_workload(w.as_ref(), &RunOptions::new(cfg));
         let (whole, phases) = app_interference_coefficient(&report, &model, kind.name());
-        let phase_max = phases
-            .iter()
-            .map(|p| p.coefficient)
-            .fold(1.0f64, f64::max);
+        let phase_max = phases.iter().map(|p| p.coefficient).fold(1.0f64, f64::max);
         let reference = paper::FIG11_IC
             .iter()
             .find(|(n, _)| *n == kind.name())

@@ -22,7 +22,11 @@ fn main() {
     let mut rows = Vec::new();
     for v in &study.variants {
         rows.push(Row::new(
-            format!("{:.0}% pooled, {}", v.pooled_fraction * 100.0, v.optimization),
+            format!(
+                "{:.0}% pooled, {}",
+                v.pooled_fraction * 100.0,
+                v.optimization
+            ),
             vec![
                 format!("{:.1} ms", v.runtime_s * 1e3),
                 format!("{:.1}%", 100.0 * v.remote_access_ratio),
@@ -30,14 +34,23 @@ fn main() {
                 format!("{:.2e} B", v.remote_bytes as f64),
                 format!(
                     "{:.3}",
-                    v.sensitivity.last().map(|p| p.relative_performance).unwrap_or(1.0)
+                    v.sensitivity
+                        .last()
+                        .map(|p| p.relative_performance)
+                        .unwrap_or(1.0)
                 ),
             ],
         ));
     }
     print_table(
         "Figure 12 — BFS data-placement case study",
-        &["runtime", "remote access", "Parents remote", "remote bytes", "rel. perf @LoI=50"],
+        &[
+            "runtime",
+            "remote access",
+            "Parents remote",
+            "remote bytes",
+            "rel. perf @LoI=50",
+        ],
         &rows,
     );
 

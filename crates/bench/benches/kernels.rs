@@ -48,8 +48,7 @@ fn bench_trace_recorder(c: &mut Criterion) {
 
 fn bench_retime(c: &mut Criterion) {
     let w = WorkloadKind::Hypre.instantiate_tiny();
-    let config = MachineConfig::test_config()
-        .with_pooling(w.expected_footprint_bytes(), 0.5);
+    let config = MachineConfig::test_config().with_pooling(w.expected_footprint_bytes(), 0.5);
     let mut m = Machine::new(config);
     w.run(&mut m);
     let report = m.finish();

@@ -1,7 +1,7 @@
 //! Table 1: memory configuration of the Top-10 supercomputers and estimated
 //! DDR/HBM cost (HBM at 3–5× the DDR unit price).
 
-use dismem_analysis::{estimate_costs, top10_systems, systems::DEFAULT_DDR_USD_PER_GIB};
+use dismem_analysis::{estimate_costs, systems::DEFAULT_DDR_USD_PER_GIB, top10_systems};
 use dismem_bench::{print_table, write_json, Row};
 
 fn main() {
@@ -48,7 +48,14 @@ fn main() {
 
     print_table(
         "Table 1 — Top-10 memory configuration and estimated cost (HBM = 4x DDR unit price)",
-        &["DDR/node", "HBM/node", "HBM BW/node", "nodes", "est. DDR cost", "est. HBM cost"],
+        &[
+            "DDR/node",
+            "HBM/node",
+            "HBM BW/node",
+            "nodes",
+            "est. DDR cost",
+            "est. HBM cost",
+        ],
         &rows,
     );
     println!(

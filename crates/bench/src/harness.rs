@@ -28,10 +28,16 @@ pub fn workload(kind: WorkloadKind, scale: InputScale) -> Box<dyn Workload> {
 }
 
 /// Directory where JSON result copies are written.
+///
+/// Anchored at the workspace `target/` directory rather than the process
+/// working directory: `cargo bench` runs bench binaries with the crate
+/// directory as cwd, which would otherwise scatter `crates/bench/target/`.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("DISMEM_RESULTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("target/dismem-results"));
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/dismem-results")
+        });
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -104,20 +110,21 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    // Environment variables are process-global and the test harness runs
+    // tests concurrently; every test that mutates the environment must hold
+    // this lock (concurrent setenv/getenv is a data race on glibc).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
-    fn quick_profile_detection() {
+    fn quick_profile_detection_and_workload_instantiation() {
+        let _env = ENV_LOCK.lock().unwrap();
         // Not set in the test environment by default.
         std::env::remove_var("DISMEM_QUICK");
         assert!(!is_quick());
         std::env::set_var("DISMEM_QUICK", "1");
         assert!(is_quick());
-        std::env::remove_var("DISMEM_QUICK");
-    }
-
-    #[test]
-    fn workload_instantiation_honours_quick() {
-        std::env::set_var("DISMEM_QUICK", "1");
         let quick = workload(WorkloadKind::Hypre, InputScale::X4);
         std::env::remove_var("DISMEM_QUICK");
         let full = workload(WorkloadKind::Hypre, InputScale::X4);
@@ -138,7 +145,11 @@ mod tests {
 
     #[test]
     fn json_writing_creates_file() {
-        std::env::set_var("DISMEM_RESULTS_DIR", std::env::temp_dir().join("dismem-test-results"));
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var(
+            "DISMEM_RESULTS_DIR",
+            std::env::temp_dir().join("dismem-test-results"),
+        );
         write_json("harness-selftest", &vec![1, 2, 3]);
         let path = results_dir().join("harness-selftest.json");
         assert!(path.exists());

@@ -15,6 +15,4 @@
 pub mod harness;
 pub mod paper;
 
-pub use harness::{
-    base_config, is_quick, print_table, results_dir, workload, write_json, Row,
-};
+pub use harness::{base_config, is_quick, print_table, results_dir, workload, write_json, Row};

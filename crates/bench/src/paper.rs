@@ -118,9 +118,13 @@ mod tests {
         // ...and cause the most interference.
         let ic = |name: &str| FIG11_IC.iter().find(|(n, _)| *n == name).unwrap().1;
         assert!(ic("Hypre") > ic("HPL"));
-        // BFS case study numbers are internally consistent.
+    }
+
+    // BFS case study numbers are internally consistent; the comparisons are
+    // between constants, so let the compiler check them.
+    const _: () = {
         assert!(FIG12.baseline_remote > FIG12.reorder_remote);
         assert!(FIG12.reorder_remote > FIG12.optimized_remote);
         assert!(FIG12.speedup_75_percent > FIG12.speedup_reorder_percent);
-    }
+    };
 }

@@ -49,7 +49,11 @@ pub struct BfsCaseStudy {
 
 impl BfsCaseStudy {
     /// Looks up a result by variant label and pooled fraction.
-    pub fn get(&self, optimization: BfsOptimization, pooled_fraction: f64) -> Option<&BfsVariantResult> {
+    pub fn get(
+        &self,
+        optimization: BfsOptimization,
+        pooled_fraction: f64,
+    ) -> Option<&BfsVariantResult> {
         self.variants.iter().find(|v| {
             v.optimization == optimization.label()
                 && (v.pooled_fraction - pooled_fraction).abs() < 1e-9
@@ -89,7 +93,10 @@ pub fn bfs_placement_study(
 ) -> BfsCaseStudy {
     let mut variants = Vec::new();
     for &pooled in pooled_fractions {
-        assert!((0.0..1.0).contains(&pooled), "pooled fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&pooled),
+            "pooled fraction must be in [0,1)"
+        );
         for opt in BfsOptimization::all() {
             let workload = Bfs::new(params.with_optimization(opt));
             let local_fraction = 1.0 - pooled;
@@ -134,12 +141,24 @@ mod tests {
     fn optimizations_reduce_remote_access_and_runtime() {
         let study = tiny_study();
         let base = study.get(BfsOptimization::Baseline, 0.75).unwrap();
-        let reorder = study.get(BfsOptimization::ReorderAllocations, 0.75).unwrap();
-        let full = study.get(BfsOptimization::ReorderAndFreeTemp, 0.75).unwrap();
+        let reorder = study
+            .get(BfsOptimization::ReorderAllocations, 0.75)
+            .unwrap();
+        let full = study
+            .get(BfsOptimization::ReorderAndFreeTemp, 0.75)
+            .unwrap();
 
         // Reordering puts Parents locally: its remote ratio collapses.
-        assert!(base.parents_remote_ratio > 0.9, "{}", base.parents_remote_ratio);
-        assert!(reorder.parents_remote_ratio < 0.1, "{}", reorder.parents_remote_ratio);
+        assert!(
+            base.parents_remote_ratio > 0.9,
+            "{}",
+            base.parents_remote_ratio
+        );
+        assert!(
+            reorder.parents_remote_ratio < 0.1,
+            "{}",
+            reorder.parents_remote_ratio
+        );
 
         // Remote access ratio and remote bytes fall monotonically.
         assert!(reorder.remote_access_ratio < base.remote_access_ratio);
@@ -156,7 +175,9 @@ mod tests {
     fn optimized_version_is_less_interference_sensitive() {
         let study = tiny_study();
         let base = study.get(BfsOptimization::Baseline, 0.75).unwrap();
-        let full = study.get(BfsOptimization::ReorderAndFreeTemp, 0.75).unwrap();
+        let full = study
+            .get(BfsOptimization::ReorderAndFreeTemp, 0.75)
+            .unwrap();
         let base_worst = base.sensitivity.last().unwrap().relative_performance;
         let full_worst = full.sensitivity.last().unwrap().relative_performance;
         assert!(

@@ -86,7 +86,9 @@ pub fn derive_guidance(level2: &Level2Report, level3: &Level3Report) -> Guidance
         );
         PlacementPriority::LittleOpportunity
     } else {
-        let hottest = level2.hottest_remote_object().map(|(name, _, _)| name.clone());
+        let hottest = level2
+            .hottest_remote_object()
+            .map(|(name, _, _)| name.clone());
         if let Some(obj) = &hottest {
             notes.push(format!(
                 "object '{obj}' is heavily accessed but resides mostly on the pool; \
@@ -135,8 +137,8 @@ pub fn derive_guidance(level2: &Level2Report, level3: &Level3Report) -> Guidance
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use self::helpers::*;
+    use super::*;
 
     /// Minimal hand-built Level-2/Level-3 reports for rule testing.
     mod helpers {

@@ -55,8 +55,8 @@ mod tests {
 
     fn pooled_report(kind: WorkloadKind, local_fraction: f64) -> RunReport {
         let w = kind.instantiate_tiny();
-        let config = MachineConfig::test_config()
-            .with_pooling(w.expected_footprint_bytes(), local_fraction);
+        let config =
+            MachineConfig::test_config().with_pooling(w.expected_footprint_bytes(), local_fraction);
         let mut machine = Machine::new(config);
         w.run(&mut machine);
         machine.finish()

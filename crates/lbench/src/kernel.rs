@@ -70,7 +70,10 @@ pub struct LBenchKernel {
 impl LBenchKernel {
     /// Creates the benchmark.
     pub fn new(params: LBenchParams) -> Self {
-        assert!(params.array_bytes >= 4096, "array too small to be meaningful");
+        assert!(
+            params.array_bytes >= 4096,
+            "array too small to be meaningful"
+        );
         assert!(params.iterations > 0);
         Self { params }
     }

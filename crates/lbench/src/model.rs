@@ -73,8 +73,8 @@ impl LBenchModel {
     /// Raw link traffic (bytes/s) that `threads` generator threads *offer*
     /// at the given flops-per-element setting (not capped by the link).
     pub fn offered_raw_rate(&self, flops_per_element: u64, threads: u32) -> f64 {
-        let per_thread =
-            self.bytes_per_element * self.protocol_overhead / self.seconds_per_element(flops_per_element);
+        let per_thread = self.bytes_per_element * self.protocol_overhead
+            / self.seconds_per_element(flops_per_element);
         per_thread * threads as f64
     }
 
@@ -138,7 +138,11 @@ impl LBenchModel {
     }
 
     /// Calibration sweep over a list of target intensities.
-    pub fn calibration_sweep(&self, targets_percent: &[f64], threads: u32) -> Vec<CalibrationPoint> {
+    pub fn calibration_sweep(
+        &self,
+        targets_percent: &[f64],
+        threads: u32,
+    ) -> Vec<CalibrationPoint> {
         targets_percent
             .iter()
             .map(|&t| self.calibrate(t, threads))

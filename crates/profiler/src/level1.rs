@@ -114,7 +114,10 @@ pub fn level1_profile(workload: &dyn Workload, base_config: &MachineConfig) -> L
     config.local.capacity_bytes = None;
     config.pool.capacity_bytes = None;
 
-    let with_pf = run_workload(workload, &RunOptions::new(config.clone()).with_prefetch(true));
+    let with_pf = run_workload(
+        workload,
+        &RunOptions::new(config.clone()).with_prefetch(true),
+    );
     let without_pf = run_workload(workload, &RunOptions::new(config).with_prefetch(false));
 
     let line = with_pf.config.cache.line_bytes;
@@ -151,7 +154,9 @@ pub fn level1_profile(workload: &dyn Workload, base_config: &MachineConfig) -> L
         performance_gain,
     };
 
-    let total_pages = with_pf.peak_footprint_bytes.div_ceil(dismem_trace::PAGE_SIZE);
+    let total_pages = with_pf
+        .peak_footprint_bytes
+        .div_ceil(dismem_trace::PAGE_SIZE);
     let scaling_curve = with_pf.page_histogram.scaling_curve(total_pages, 100);
 
     let longest = with_pf.total_runtime_s.max(without_pf.total_runtime_s);
@@ -207,8 +212,16 @@ mod tests {
     #[test]
     fn streaming_workload_has_good_prefetch_metrics() {
         let hypre = profile(WorkloadKind::Hypre);
-        assert!(hypre.prefetch.accuracy > 0.6, "accuracy {}", hypre.prefetch.accuracy);
-        assert!(hypre.prefetch.coverage > 0.4, "coverage {}", hypre.prefetch.coverage);
+        assert!(
+            hypre.prefetch.accuracy > 0.6,
+            "accuracy {}",
+            hypre.prefetch.accuracy
+        );
+        assert!(
+            hypre.prefetch.coverage > 0.4,
+            "coverage {}",
+            hypre.prefetch.coverage
+        );
         assert!(hypre.prefetch.performance_gain >= 0.0);
     }
 

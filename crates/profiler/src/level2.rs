@@ -113,7 +113,7 @@ pub fn level2_from_report(
         .filter(|a| a.dram_lines() > 0)
         .map(|a| (a.name.clone(), a.remote_access_ratio(), a.dram_lines()))
         .collect();
-    objects.sort_by(|a, b| b.2.cmp(&a.2));
+    objects.sort_by_key(|o| std::cmp::Reverse(o.2));
 
     Level2Report {
         workload: workload_name.to_string(),

@@ -181,7 +181,11 @@ mod tests {
         // When the whole footprint fits locally there is no pool traffic and
         // interference cannot hurt.
         let r = profile(WorkloadKind::Hpl, 1.0);
-        assert!(r.max_slowdown_percent() < 1.0, "slowdown {}", r.max_slowdown_percent());
+        assert!(
+            r.max_slowdown_percent() < 1.0,
+            "slowdown {}",
+            r.max_slowdown_percent()
+        );
         assert!(r.remote_access_ratio < 0.05);
     }
 

@@ -106,8 +106,10 @@ mod tests {
     fn prefetch_option_is_respected() {
         let w = WorkloadKind::Hpl.instantiate_tiny();
         let with_pf = run_workload(w.as_ref(), &RunOptions::new(test_base()));
-        let without_pf =
-            run_workload(w.as_ref(), &RunOptions::new(test_base()).with_prefetch(false));
+        let without_pf = run_workload(
+            w.as_ref(),
+            &RunOptions::new(test_base()).with_prefetch(false),
+        );
         assert!(with_pf.total.pf_issued > 0);
         assert_eq!(without_pf.total.pf_issued, 0);
     }

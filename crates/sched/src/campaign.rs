@@ -183,7 +183,11 @@ mod tests {
     fn aware_policy_is_no_slower_and_less_variable() {
         let report = pooled_report(WorkloadKind::Hypre);
         let cmp = compare_policies("Hypre", &report, &small_config());
-        assert!(cmp.mean_speedup_percent() >= -0.5, "{}", cmp.mean_speedup_percent());
+        assert!(
+            cmp.mean_speedup_percent() >= -0.5,
+            "{}",
+            cmp.mean_speedup_percent()
+        );
         assert!(
             cmp.aware.summary.max <= cmp.baseline.summary.max + 1e-12,
             "worst case must not get worse"
@@ -193,7 +197,11 @@ mod tests {
 
     #[test]
     fn sensitive_workload_benefits_more_than_insensitive_one() {
-        let hypre = compare_policies("Hypre", &pooled_report(WorkloadKind::Hypre), &small_config());
+        let hypre = compare_policies(
+            "Hypre",
+            &pooled_report(WorkloadKind::Hypre),
+            &small_config(),
+        );
         let hpl = compare_policies("HPL", &pooled_report(WorkloadKind::Hpl), &small_config());
         assert!(
             hypre.mean_speedup_percent() >= hpl.mean_speedup_percent() - 0.2,
@@ -206,14 +214,29 @@ mod tests {
     #[test]
     fn campaign_is_deterministic_for_a_seed() {
         let report = pooled_report(WorkloadKind::Bfs);
-        let a = run_campaign("BFS", &report, SchedulingPolicy::RandomBaseline, &small_config());
-        let b = run_campaign("BFS", &report, SchedulingPolicy::RandomBaseline, &small_config());
+        let a = run_campaign(
+            "BFS",
+            &report,
+            SchedulingPolicy::RandomBaseline,
+            &small_config(),
+        );
+        let b = run_campaign(
+            "BFS",
+            &report,
+            SchedulingPolicy::RandomBaseline,
+            &small_config(),
+        );
         assert_eq!(a.runtimes_s, b.runtimes_s);
         let other_seed = CampaignConfig {
             seed: 43,
             ..small_config()
         };
-        let c = run_campaign("BFS", &report, SchedulingPolicy::RandomBaseline, &other_seed);
+        let c = run_campaign(
+            "BFS",
+            &report,
+            SchedulingPolicy::RandomBaseline,
+            &other_seed,
+        );
         assert_ne!(a.runtimes_s, c.runtimes_s);
     }
 

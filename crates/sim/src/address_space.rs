@@ -365,7 +365,9 @@ mod tests {
         let mut space = AddressSpace::new(Some(2 * PAGE_SIZE), None);
         let a = space.alloc("A", "t", 4 * PAGE_SIZE, PlacementPolicy::FirstTouch);
         for p in 0..4 {
-            space.dram_access(addr_of(&space, a, p * PAGE_SIZE)).unwrap();
+            space
+                .dram_access(addr_of(&space, a, p * PAGE_SIZE))
+                .unwrap();
         }
         assert_eq!(space.local_pages_used(), 2);
         assert_eq!(space.pool_pages_used(), 2);
@@ -390,7 +392,9 @@ mod tests {
         let mut space = AddressSpace::new(None, None);
         let a = space.alloc("A", "t", 6 * PAGE_SIZE, PlacementPolicy::interleave(1, 2));
         for p in 0..6 {
-            space.dram_access(addr_of(&space, a, p * PAGE_SIZE)).unwrap();
+            space
+                .dram_access(addr_of(&space, a, p * PAGE_SIZE))
+                .unwrap();
         }
         let pl = space.placement(a);
         assert_eq!(pl.pages_local, 2);
@@ -409,9 +413,16 @@ mod tests {
         space.free(temp);
         assert_eq!(space.local_pages_used(), 0);
 
-        let frontier = space.alloc("frontier", "bfs", 2 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        let frontier = space.alloc(
+            "frontier",
+            "bfs",
+            2 * PAGE_SIZE,
+            PlacementPolicy::FirstTouch,
+        );
         space.dram_access(addr_of(&space, frontier, 0)).unwrap();
-        space.dram_access(addr_of(&space, frontier, PAGE_SIZE)).unwrap();
+        space
+            .dram_access(addr_of(&space, frontier, PAGE_SIZE))
+            .unwrap();
         let pl = space.placement(frontier);
         assert_eq!(pl.pages_local, 2);
         assert_eq!(pl.pages_pool, 0);
@@ -426,8 +437,14 @@ mod tests {
         assert_eq!(t0, Tier::Local);
         assert_eq!(t1, Tier::Pool);
         // Accessing again keeps the original binding and counts traffic.
-        assert_eq!(space.dram_access(addr_of(&space, a, 0)).unwrap(), Tier::Local);
-        assert_eq!(space.dram_access(addr_of(&space, a, PAGE_SIZE)).unwrap(), Tier::Pool);
+        assert_eq!(
+            space.dram_access(addr_of(&space, a, 0)).unwrap(),
+            Tier::Local
+        );
+        assert_eq!(
+            space.dram_access(addr_of(&space, a, PAGE_SIZE)).unwrap(),
+            Tier::Pool
+        );
         let pl = space.placement(a);
         assert_eq!(pl.dram_lines_local, 2);
         assert_eq!(pl.dram_lines_pool, 2);
@@ -440,7 +457,9 @@ mod tests {
         let a = space.alloc("A", "t", 3 * PAGE_SIZE, PlacementPolicy::FirstTouch);
         space.dram_access(addr_of(&space, a, 0)).unwrap();
         space.dram_access(addr_of(&space, a, PAGE_SIZE)).unwrap();
-        let err = space.dram_access(addr_of(&space, a, 2 * PAGE_SIZE)).unwrap_err();
+        let err = space
+            .dram_access(addr_of(&space, a, 2 * PAGE_SIZE))
+            .unwrap_err();
         assert_eq!(err.object, "A");
         assert!(err.to_string().contains("out of memory"));
     }

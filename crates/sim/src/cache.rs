@@ -225,8 +225,7 @@ impl CacheSim {
         self.prefetch_buf.clear();
         let mut buf = std::mem::take(&mut self.prefetch_buf);
         self.prefetcher.observe(line_addr, &mut buf);
-        for i in 0..buf.len() {
-            let pf_addr = buf[i];
+        for &pf_addr in &buf {
             if self.l2.contains(pf_addr) {
                 continue;
             }

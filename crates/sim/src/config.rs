@@ -348,7 +348,10 @@ mod tests {
         assert_eq!(c.l2_sets(), (1 << 20) / (64 * 16));
         assert_eq!(c.llc_sets(), (16 << 20) / (64 * 16));
         let t = CacheParams::tiny();
-        assert_eq!(t.l2_sets() * t.l2_ways as usize * t.line_bytes as usize, 8 * 1024);
+        assert_eq!(
+            t.l2_sets() * t.l2_ways as usize * t.line_bytes as usize,
+            8 * 1024
+        );
     }
 
     #[test]

@@ -17,21 +17,16 @@ pub struct InterferenceEpoch {
 }
 
 /// Background interference experienced by the application on the pool link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum InterferenceProfile {
     /// No co-running jobs on the pool (the paper's `LoI = 0` baseline).
+    #[default]
     Idle,
     /// Constant level of interference (fraction of peak raw link traffic).
     Constant(f64),
     /// Piecewise-constant schedule; epochs must be sorted by start time and
     /// the first epoch should start at 0.
     Schedule(Vec<InterferenceEpoch>),
-}
-
-impl Default for InterferenceProfile {
-    fn default() -> Self {
-        InterferenceProfile::Idle
-    }
 }
 
 impl InterferenceProfile {

@@ -243,7 +243,10 @@ impl MemoryEngine for Machine {
     }
 
     fn phase_end(&mut self) {
-        assert!(self.current_phase.is_some(), "phase_end without phase_start");
+        assert!(
+            self.current_phase.is_some(),
+            "phase_end without phase_start"
+        );
         self.close_chunk();
         self.current_phase = None;
     }

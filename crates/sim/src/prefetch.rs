@@ -267,7 +267,10 @@ mod tests {
         }
         // Resuming page 0's stream needs re-training from scratch.
         p.observe(1, &mut out);
-        assert!(out.is_empty(), "evicted stream must not remember its history");
+        assert!(
+            out.is_empty(),
+            "evicted stream must not remember its history"
+        );
         p.observe(2, &mut out);
         assert_eq!(out, vec![3, 4]);
     }

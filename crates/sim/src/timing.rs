@@ -212,7 +212,10 @@ mod tests {
         let t0 = m.chunk_time(&chunk, 0.0).total_s;
         let t50 = m.chunk_time(&chunk, 0.5).total_s;
         assert_eq!(m.chunk_time(&chunk, 0.0).bottleneck(), "compute");
-        assert!((t50 - t0).abs() / t0 < 1e-9, "compute-bound time must not change");
+        assert!(
+            (t50 - t0).abs() / t0 < 1e-9,
+            "compute-bound time must not change"
+        );
     }
 
     #[test]

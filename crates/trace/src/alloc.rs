@@ -113,7 +113,13 @@ mod tests {
     #[test]
     fn interleave_constructor() {
         let p = PlacementPolicy::interleave(3, 1);
-        assert_eq!(p, PlacementPolicy::Interleave { local: 3, remote: 1 });
+        assert_eq!(
+            p,
+            PlacementPolicy::Interleave {
+                local: 3,
+                remote: 1
+            }
+        );
     }
 
     #[test]

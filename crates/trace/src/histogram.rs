@@ -158,7 +158,10 @@ mod tests {
             h.record(p, 100 / 9 + 1);
         }
         let frac = h.footprint_for_access_share(10, 0.85);
-        assert!(frac <= 0.2, "hot page should cover 85% of accesses, got {frac}");
+        assert!(
+            frac <= 0.2,
+            "hot page should cover 85% of accesses, got {frac}"
+        );
     }
 
     #[test]

@@ -139,7 +139,8 @@ impl MemoryEngine for TraceRecorder {
         policy: PlacementPolicy,
     ) -> ObjectHandle {
         let handle = ObjectHandle(self.allocations.len() as u32);
-        let record = AllocationRecord::new(handle, name, site, bytes, self.allocations.len(), policy);
+        let record =
+            AllocationRecord::new(handle, name, site, bytes, self.allocations.len(), policy);
         self.allocations.push(record);
         self.bases.push(self.next_addr);
         self.next_addr += pages_for(bytes) * PAGE_SIZE;
@@ -171,7 +172,10 @@ impl MemoryEngine for TraceRecorder {
     }
 
     fn phase_end(&mut self) {
-        assert!(self.current_phase.is_some(), "phase_end without phase_start");
+        assert!(
+            self.current_phase.is_some(),
+            "phase_end without phase_start"
+        );
         self.current_phase = None;
     }
 
@@ -270,10 +274,12 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity() {
-        let mut p = PhaseStats::default();
-        p.bytes_read = 50;
-        p.bytes_written = 50;
-        p.flops = 400;
+        let p = PhaseStats {
+            bytes_read: 50,
+            bytes_written: 50,
+            flops: 400,
+            ..Default::default()
+        };
         assert!((p.arithmetic_intensity() - 4.0).abs() < 1e-12);
         let empty = PhaseStats::default();
         assert_eq!(empty.arithmetic_intensity(), 0.0);

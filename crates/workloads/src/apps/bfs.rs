@@ -365,7 +365,11 @@ mod tests {
         let edges_pos = order.iter().position(|n| n == "edges").unwrap();
         assert!(parents_pos > edges_pos);
         // Temporary never freed in the baseline.
-        let temp = rec.allocations().iter().find(|a| a.name == "build-temp").unwrap();
+        let temp = rec
+            .allocations()
+            .iter()
+            .find(|a| a.name == "build-temp")
+            .unwrap();
         assert!(!temp.freed);
     }
 
@@ -376,7 +380,11 @@ mod tests {
         let parents_pos = order.iter().position(|n| n == "Parents").unwrap();
         let edges_pos = order.iter().position(|n| n == "edges").unwrap();
         assert!(parents_pos < edges_pos);
-        let temp = rec.allocations().iter().find(|a| a.name == "build-temp").unwrap();
+        let temp = rec
+            .allocations()
+            .iter()
+            .find(|a| a.name == "build-temp")
+            .unwrap();
         assert!(temp.freed);
     }
 

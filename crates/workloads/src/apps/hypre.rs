@@ -144,8 +144,14 @@ mod tests {
         w.run(&mut rec);
         let stats = rec.stats();
         let solve = &stats.phases[1];
-        assert!(solve.arithmetic_intensity() < 1.0, "stencil sweeps must be memory bound");
-        assert!(solve.bytes_read > solve.bytes_written, "stencil reads more than it writes");
+        assert!(
+            solve.arithmetic_intensity() < 1.0,
+            "stencil sweeps must be memory bound"
+        );
+        assert!(
+            solve.bytes_read > solve.bytes_written,
+            "stencil reads more than it writes"
+        );
     }
 
     #[test]

@@ -161,7 +161,12 @@ impl Workload for NekRs {
                 engine.access(vel_x, off, elem_bytes, AccessKind::Read);
                 engine.access(vel_y, off, elem_bytes, AccessKind::Read);
                 engine.access(vel_z, off, elem_bytes, AccessKind::Read);
-                engine.access(dmat, 0, (p.poly_points * p.poly_points * 8) as u64, AccessKind::Read);
+                engine.access(
+                    dmat,
+                    0,
+                    (p.poly_points * p.poly_points * 8) as u64,
+                    AccessKind::Read,
+                );
                 engine.access(rhs, off, elem_bytes, AccessKind::Write);
                 engine.flops(tensor_flops_per_element);
 
@@ -197,7 +202,10 @@ mod tests {
         let stats = rec.stats();
         let p2 = &stats.phases[1];
         let ai = p2.arithmetic_intensity();
-        assert!(ai > 0.2 && ai < 6.0, "NekRS AI should be moderate, got {ai}");
+        assert!(
+            ai > 0.2 && ai < 6.0,
+            "NekRS AI should be moderate, got {ai}"
+        );
     }
 
     #[test]

@@ -136,7 +136,8 @@ impl Workload for SuperLu {
             // Scatter the corresponding columns of A into the panel, then
             // factor the panel in place (dense, sequential).
             let a_read_bytes = (sn.width as u64 * sn.height as u64).min(64 * 1024);
-            let a_off = (sn.start_col as u64 * 12).min(s.matrix_bytes().saturating_sub(a_read_bytes));
+            let a_off =
+                (sn.start_col as u64 * 12).min(s.matrix_bytes().saturating_sub(a_read_bytes));
             engine.access(matrix, a_off, a_read_bytes, AccessKind::Read);
             engine.access(factor, panel_off, panel_bytes, AccessKind::Read);
             engine.access(factor, panel_off, panel_bytes, AccessKind::Write);
@@ -158,7 +159,12 @@ impl Workload for SuperLu {
             }
             // Occasional pivoting bookkeeping.
             if i % 8 == 0 {
-                engine.access(perm, (i as u64 * 16) % ((s.num_cols as u64 * 16) - 16), 16, AccessKind::Write);
+                engine.access(
+                    perm,
+                    (i as u64 * 16) % ((s.num_cols as u64 * 16) - 16),
+                    16,
+                    AccessKind::Write,
+                );
             }
         }
         engine.phase_end();

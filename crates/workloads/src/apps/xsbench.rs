@@ -130,9 +130,21 @@ impl Workload for XsBench {
         // small, hot) energy and nuclide grids first, the huge unionized
         // index grid last. Under first-touch placement this keeps the hot
         // structures in node-local memory.
-        let energy = engine.alloc("unionized-energy-grid", "xsbench.rs:grid_init", p.energy_grid_bytes());
-        let nuclides = engine.alloc("nuclide-grids", "xsbench.rs:grid_init", p.nuclide_grid_bytes());
-        let index = engine.alloc("unionized-index-grid", "xsbench.rs:grid_init", p.index_grid_bytes());
+        let energy = engine.alloc(
+            "unionized-energy-grid",
+            "xsbench.rs:grid_init",
+            p.energy_grid_bytes(),
+        );
+        let nuclides = engine.alloc(
+            "nuclide-grids",
+            "xsbench.rs:grid_init",
+            p.nuclide_grid_bytes(),
+        );
+        let index = engine.alloc(
+            "unionized-index-grid",
+            "xsbench.rs:grid_init",
+            p.index_grid_bytes(),
+        );
 
         // Phase 1: grid initialization (streaming writes over everything).
         engine.phase_start("p1-grid-init");
@@ -203,7 +215,9 @@ mod tests {
         // The access distribution is skewed: most accesses land on the small
         // hot structures (the paper's Figure 6f shape).
         let footprint_pages = stats.peak_footprint_bytes.div_ceil(dismem_trace::PAGE_SIZE);
-        let share = rec.histogram().footprint_for_access_share(footprint_pages, 0.7);
+        let share = rec
+            .histogram()
+            .footprint_for_access_share(footprint_pages, 0.7);
         assert!(
             share < 0.5,
             "70% of accesses should need < 50% of the footprint, got {share}"

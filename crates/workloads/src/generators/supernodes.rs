@@ -115,7 +115,7 @@ pub fn generate_supernodes(
     // immediate successors (elimination-tree parent chain) plus a few farther
     // ones.
     let count = supernodes.len();
-    for i in 0..count {
+    for (i, supernode) in supernodes.iter_mut().enumerate() {
         let mut updates = Vec::new();
         let max_targets = (count - i - 1).min(12);
         if max_targets > 0 {
@@ -132,7 +132,7 @@ pub fn generate_supernodes(
                 }
             }
         }
-        supernodes[i].updates = updates;
+        supernode.updates = updates;
     }
 
     let factor_elements = offset;

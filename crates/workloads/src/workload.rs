@@ -173,11 +173,7 @@ impl WorkloadKind {
                 "symmetric rMat, N=2^25, M=2^29.25",
                 "symmetric rMat, N=2^26, M=2^30.25",
             ],
-            WorkloadKind::SuperLu => [
-                "SiO (nnz=1.3M)",
-                "H2O (nnz=2.2M)",
-                "Si34H36 (nnz=5.2M)",
-            ],
+            WorkloadKind::SuperLu => ["SiO (nnz=1.3M)", "H2O (nnz=2.2M)", "Si34H36 (nnz=5.2M)"],
             WorkloadKind::XsBench => [
                 "large, 2M particles, 11303 gridpoints",
                 "large, 2M particles, 22606 gridpoints",
@@ -247,7 +243,11 @@ mod tests {
             let mut rec = TraceRecorder::new();
             w.run(&mut rec);
             let stats = rec.stats();
-            assert!(stats.bytes_read + stats.bytes_written > 0, "{} moved no data", w.name());
+            assert!(
+                stats.bytes_read + stats.bytes_written > 0,
+                "{} moved no data",
+                w.name()
+            );
             assert!(
                 stats.phases.len() >= 2,
                 "{} must have at least two phases (init + compute)",

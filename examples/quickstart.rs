@@ -20,7 +20,10 @@ fn main() {
 
     println!("== Level 1: general characteristics ==");
     let l1 = study.level1();
-    println!("  footprint: {:.1} MiB", l1.footprint_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "  footprint: {:.1} MiB",
+        l1.footprint_bytes as f64 / (1 << 20) as f64
+    );
     for p in &l1.phases {
         println!(
             "  {:<12} AI = {:>6.3} flop/B, {:>7.2} Gflop/s, {:>6.1} GB/s",
@@ -42,7 +45,11 @@ fn main() {
         100.0 * l2.remote_bandwidth_ratio
     );
     for p in &l2.phases {
-        println!("  {:<12} remote access ratio {:.0}%", p.label, 100.0 * p.remote_access_ratio);
+        println!(
+            "  {:<12} remote access ratio {:.0}%",
+            p.label,
+            100.0 * p.remote_access_ratio
+        );
     }
 
     println!("\n== Level 3: interference on the memory pool ==");

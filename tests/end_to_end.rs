@@ -100,19 +100,19 @@ fn prefetching_helps_streaming_workloads_more_than_random_lookups() {
         hypre > xs + 0.02,
         "prefetch gain: Hypre {hypre} should exceed XSBench {xs}"
     );
-    assert!(hypre > 0.05, "streaming workload should gain from prefetching");
+    assert!(
+        hypre > 0.05,
+        "streaming workload should gain from prefetching"
+    );
 }
 
 #[test]
 fn bfs_case_study_reproduces_the_paper_shape() {
-    let study = bfs_placement_study(
-        BfsParams::tiny(),
-        &config(),
-        &[0.75],
-        &[0.0, 25.0, 50.0],
-    );
+    let study = bfs_placement_study(BfsParams::tiny(), &config(), &[0.75], &[0.0, 25.0, 50.0]);
     let base = study.get(BfsOptimization::Baseline, 0.75).unwrap();
-    let opt = study.get(BfsOptimization::ReorderAndFreeTemp, 0.75).unwrap();
+    let opt = study
+        .get(BfsOptimization::ReorderAndFreeTemp, 0.75)
+        .unwrap();
     assert!(base.remote_access_ratio > opt.remote_access_ratio);
     assert!(base.runtime_s > opt.runtime_s);
     assert!(study.speedup_percent(0.75).unwrap() > 0.0);

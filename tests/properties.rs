@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 /// A small synthetic access script: (offset pages, length bytes, write?).
 fn access_script() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
-    prop::collection::vec(
-        (0u64..64, 1u64..16_384, any::<bool>()),
-        1..40,
-    )
+    prop::collection::vec((0u64..64, 1u64..16_384, any::<bool>()), 1..40)
 }
 
 proptest! {

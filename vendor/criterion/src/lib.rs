@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and method surface the bench harnesses use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`) with a simple wall-clock harness:
+//! each benchmark runs `sample_size` samples after a warm-up pass and the
+//! per-iteration mean, min and max are printed. No statistics beyond that —
+//! enough to track the perf trajectory until the real criterion can be
+//! vendored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    // Group-scoped like real criterion: overriding it must not leak into
+    // benches registered after `finish()`.
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut samples = Vec::with_capacity(sample_size);
+    // Warm-up pass (also sizes the iteration count).
+    let mut b = Bencher {
+        per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.per_iter);
+    }
+    report(id, &samples);
+}
+
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed();
+        // Slow benchmark: the probe run itself is the sample — rerunning
+        // would double the wall-clock time for no extra information.
+        if once >= Duration::from_micros(50) {
+            self.per_iter = once;
+            return;
+        }
+        // Fast benchmark: run enough iterations to amortize timer overhead.
+        let iters =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.per_iter = start.elapsed() / iters;
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

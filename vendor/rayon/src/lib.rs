@@ -1,0 +1,39 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` / `into_par_iter()` return the corresponding *sequential*
+//! iterators, so every adaptor (`map`, `collect`, `unzip`, …) is the std one
+//! and results are bit-identical to the parallel versions — the workspace
+//! only uses order-preserving, side-effect-free pipelines. Swap in the real
+//! rayon (same call sites) once the build environment has network access.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// `into_par_iter()` for owned collections and ranges; sequential fallback.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` for `&self` iteration over slices and collections;
+/// sequential fallback.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}

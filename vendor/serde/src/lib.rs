@@ -1,0 +1,294 @@
+//! Offline stand-in for `serde`.
+//!
+//! The dismem container has no network access to crates.io, so this crate
+//! provides the subset of the serde surface the workspace actually uses:
+//! the [`Serialize`] / [`Deserialize`] traits, the derive macros (re-exported
+//! from the sibling `serde_derive` stub), and a JSON writer that
+//! `serde_json::to_string` delegates to. The data model is collapsed: instead
+//! of the full serializer/visitor machinery, [`Serialize`] writes JSON
+//! directly, which is the only format the workspace serializes to.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+///
+/// The real serde `Serialize` is format-agnostic; this stub hard-wires the
+/// one format the workspace uses. Derived impls emit an object with one
+/// member per field, matching serde's default behaviour (externally tagged
+/// enums, field names as keys).
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait mirroring serde's `Deserialize`.
+///
+/// Nothing in the workspace deserializes, so the derive emits an empty impl
+/// and no parsing machinery exists.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+macro_rules! int_impl {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+
+int_impl!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+impl Serialize for u128 {
+    fn serialize_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "{self}");
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "{self}");
+    }
+}
+
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).unwrap()
+}
+
+macro_rules! float_impl {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                if self.is_finite() {
+                    // `{}` prints the shortest representation that round-trips,
+                    // matching serde_json's ryu output for most values.
+                    if *self == self.trunc() && self.abs() < 1e15 {
+                        let _ = write!(out, "{:.1}", self);
+                    } else {
+                        let _ = write!(out, "{}", self);
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32 f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_str(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        ser::write_str(out, self.encode_utf8(&mut buf));
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys: JSON object members must be strings, so keys are stringified
+/// the way serde_json does (integers print in decimal).
+pub trait JsonKey: Ord {
+    fn write_key(&self, out: &mut String);
+}
+
+impl JsonKey for String {
+    fn write_key(&self, out: &mut String) {
+        ser::write_str(out, self);
+    }
+}
+
+impl JsonKey for &str {
+    fn write_key(&self, out: &mut String) {
+        ser::write_str(out, self);
+    }
+}
+
+macro_rules! int_key {
+    ($($t:ty)*) => {$(
+        impl JsonKey for $t {
+            fn write_key(&self, out: &mut String) {
+                use std::fmt::Write;
+                let _ = write!(out, "\"{self}\"");
+            }
+        }
+    )*};
+}
+
+int_key!(i8 i16 i32 i64 i128 isize u8 u16 u32 u64 u128 usize);
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.write_key(out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: JsonKey, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
+{
+    fn serialize_json(&self, out: &mut String) {
+        // Sort keys for deterministic output regardless of hash order.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        out.push('{');
+        for (i, (k, v)) in entries.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.write_key(out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+/// Helpers the derive macro's generated code calls into.
+pub mod ser {
+    use super::Serialize;
+
+    /// Write one `"name": value` struct member, inserting the separating
+    /// comma for every member after the first.
+    pub fn field<T: Serialize + ?Sized>(out: &mut String, name: &str, value: &T, first: &mut bool) {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        write_str(out, name);
+        out.push(':');
+        value.serialize_json(out);
+    }
+
+    /// Write a JSON string literal with escaping.
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write;
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}

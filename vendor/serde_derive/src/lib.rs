@@ -1,0 +1,307 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the deriving item's token stream by hand (no `syn`/`quote` in the
+//! container) and emits an impl of the stub `serde::Serialize` trait, which
+//! writes JSON directly. Supports the shapes the workspace uses: structs with
+//! named fields, tuple/unit structs, and enums with unit, tuple and struct
+//! variants — all without generic parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str("out.push('{');\nlet mut first = true;\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "serde::ser::field(out, \"{f}\", &self.{f}, &mut first);"
+                );
+            }
+            body.push_str("let _ = first;\nout.push('}');\n");
+        }
+        Shape::TupleStruct(arity) => {
+            if *arity == 1 {
+                // Newtype structs serialize as their inner value, like serde.
+                body.push_str("self.0.serialize_json(out);\n");
+            } else {
+                body.push_str("out.push('[');\n");
+                for i in 0..*arity {
+                    if i > 0 {
+                        body.push_str("out.push(',');\n");
+                    }
+                    let _ = writeln!(body, "self.{i}.serialize_json(out);");
+                }
+                body.push_str("out.push(']');\n");
+            }
+        }
+        Shape::UnitStruct => {
+            body.push_str("out.push_str(\"null\");\n");
+        }
+        Shape::Enum(variants) => {
+            // Externally tagged representation, serde's default.
+            body.push_str("match self {\n");
+            for v in variants {
+                let name = &item.name;
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} => serde::ser::write_str(out, \"{vn}\"),"
+                        );
+                    }
+                    VariantFields::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let _ = writeln!(body, "{name}::{vn}({}) => {{", binds.join(", "));
+                        body.push_str("out.push('{');\n");
+                        let _ = writeln!(body, "serde::ser::write_str(out, \"{vn}\");");
+                        body.push_str("out.push(':');\n");
+                        if *arity == 1 {
+                            body.push_str("__f0.serialize_json(out);\n");
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                let _ = writeln!(body, "{b}.serialize_json(out);");
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                    VariantFields::Named(fields) => {
+                        let _ = writeln!(body, "{name}::{vn} {{ {} }} => {{", fields.join(", "));
+                        body.push_str("out.push('{');\n");
+                        let _ = writeln!(body, "serde::ser::write_str(out, \"{vn}\");");
+                        body.push_str("out.push(':');\nout.push('{');\nlet mut first = true;\n");
+                        for f in fields {
+                            let _ = writeln!(
+                                body,
+                                "serde::ser::field(out, \"{f}\", {f}, &mut first);"
+                            );
+                        }
+                        body.push_str("let _ = first;\nout.push('}');\nout.push('}');\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    let generated = format!(
+        "#[automatically_derived]\nimpl serde::Serialize for {} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n\
+         #[allow(unused_imports)] use serde::Serialize as _;\n{body}}}\n}}\n",
+        item.name
+    );
+    generated
+        .parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    // Nothing in the workspace deserializes; emit only the marker impl so
+    // `#[derive(Deserialize)]` stays valid.
+    let item = parse_item(input);
+    format!(
+        "#[automatically_derived]\nimpl<'de> serde::Deserialize<'de> for {} {{}}\n",
+        item.name
+    )
+    .parse()
+    .expect("serde_derive stub generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc.: the optional paren group is
+                // consumed by the '#'/ident arms as it comes up.
+            }
+            Some(TokenTree::Group(_)) => {} // pub(crate) restriction group
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct/enum keyword found"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (deriving {name})");
+        }
+    }
+    let shape = if kind == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_commas_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+/// Extract field names from a named-field list: skips attributes and
+/// visibility, takes the ident before each top-level `:`, then skips the type
+/// (tracking `<`/`>` depth so commas inside generic arguments don't split).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive stub: unexpected token in fields: {other}"),
+                None => return fields,
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected ':' after field {name}, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type until a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple-struct/tuple-variant body. Commas only
+/// *separate* fields when another token follows, so a trailing comma
+/// (`struct P(u32, u32,)`) does not inflate the count.
+fn count_top_level_commas_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle: i32 = 0;
+    let mut in_field = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                in_field = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                in_field = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if in_field {
+                    count += 1;
+                }
+                in_field = false;
+            }
+            _ => in_field = true,
+        }
+    }
+    count + in_field as usize
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive stub: unexpected token in enum: {other}"),
+                None => return variants,
+            }
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_commas_fields(g.stream());
+                tokens.next();
+                if arity == 0 {
+                    VariantFields::Unit
+                } else {
+                    VariantFields::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => return variants,
+            }
+        }
+    }
+}
