@@ -6,6 +6,7 @@ use dismem_bench::{base_config, is_quick, print_table, workload, write_json, Row
 use dismem_profiler::level1::level1_profile;
 use dismem_trace::histogram::ScalingPoint;
 use dismem_workloads::{InputScale, WorkloadKind};
+use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -33,25 +34,32 @@ fn main() {
         InputScale::all().to_vec()
     };
 
-    let mut outputs = Vec::new();
-    let mut per_workload: BTreeMap<&'static str, Vec<(String, Vec<ScalingPoint>)>> =
-        BTreeMap::new();
-    for kind in WorkloadKind::all() {
-        for &scale in &scales {
+    // Every (workload, scale) pair is an independent simulated machine run:
+    // profile them concurrently on the thread pool.
+    let combos: Vec<(WorkloadKind, InputScale)> = WorkloadKind::all()
+        .into_iter()
+        .flat_map(|kind| scales.iter().map(move |&scale| (kind, scale)))
+        .collect();
+    let outputs: Vec<CurveOutput> = combos
+        .par_iter()
+        .map(|&(kind, scale)| {
             let w = workload(kind, scale);
             let report = level1_profile(w.as_ref(), &config);
-            per_workload
-                .entry(kind.name())
-                .or_default()
-                .push((scale.label().to_string(), report.scaling_curve.clone()));
-            outputs.push(CurveOutput {
+            eprintln!("  [fig06] profiled {} {}", kind.name(), scale.label());
+            CurveOutput {
                 workload: kind.name().to_string(),
                 scale: scale.label().to_string(),
                 footprint_mib: report.footprint_bytes as f64 / (1 << 20) as f64,
                 curve: report.scaling_curve,
-            });
-            eprintln!("  [fig06] profiled {} {}", kind.name(), scale.label());
-        }
+            }
+        })
+        .collect();
+    let mut per_workload: BTreeMap<&str, Vec<(String, Vec<ScalingPoint>)>> = BTreeMap::new();
+    for output in &outputs {
+        per_workload
+            .entry(output.workload.as_str())
+            .or_default()
+            .push((output.scale.clone(), output.curve.clone()));
     }
 
     // Print, per workload and scale, the access share captured by the hottest

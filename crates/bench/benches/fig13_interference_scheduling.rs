@@ -4,8 +4,9 @@
 
 use dismem_bench::{base_config, is_quick, paper, print_table, workload, write_json, Row};
 use dismem_profiler::{pooled_config, run_workload, RunOptions};
-use dismem_sched::{campaign::compare_policies, CampaignConfig};
+use dismem_sched::{campaign::compare_policies_sequential, CampaignConfig};
 use dismem_workloads::{InputScale, WorkloadKind};
+use rayon::prelude::*;
 
 fn main() {
     let config = base_config();
@@ -15,20 +16,32 @@ fn main() {
         seed: 0xF1613,
     };
 
+    // Each workload's profiling run + campaigns are independent: execute
+    // them concurrently on the thread pool. Within a worker the campaigns
+    // run sequentially — the scoped-thread rayon stand-in has no shared
+    // pool, so nesting the trial fan-out would oversubscribe the CPU.
+    let kinds: Vec<WorkloadKind> = WorkloadKind::all().to_vec();
+    let comparisons: Vec<_> = kinds
+        .par_iter()
+        .map(|&kind| {
+            let w = workload(kind, InputScale::X1);
+            // 50% memory-pool capacity as in the paper's setup.
+            let cfg = pooled_config(&config, w.as_ref(), 0.5);
+            let report = run_workload(w.as_ref(), &RunOptions::new(cfg));
+            let cmp = compare_policies_sequential(kind.name(), &report, &campaign);
+            eprintln!("  [fig13] {} campaigns finished", kind.name());
+            cmp
+        })
+        .collect();
+
     let mut rows = Vec::new();
-    let mut comparisons = Vec::new();
-    for kind in WorkloadKind::all() {
-        let w = workload(kind, InputScale::X1);
-        // 50% memory-pool capacity as in the paper's setup.
-        let cfg = pooled_config(&config, w.as_ref(), 0.5);
-        let report = run_workload(w.as_ref(), &RunOptions::new(cfg));
-        let cmp = compare_policies(kind.name(), &report, &campaign);
+    for cmp in &comparisons {
         let reference = paper::FIG13_SPEEDUP
             .iter()
-            .find(|(n, ..)| *n == kind.name())
+            .find(|(n, ..)| *n == cmp.workload)
             .unwrap();
         rows.push(Row::new(
-            kind.name(),
+            cmp.workload.clone(),
             vec![
                 format!(
                     "{:.2}/{:.2}/{:.2} ms",
@@ -47,8 +60,6 @@ fn main() {
                 format!("{:.0}% / {:.0}%", reference.1, reference.2),
             ],
         ));
-        comparisons.push(cmp);
-        eprintln!("  [fig13] {} campaigns finished", kind.name());
     }
     print_table(
         &format!(

@@ -29,15 +29,23 @@ pub fn workload(kind: WorkloadKind, scale: InputScale) -> Box<dyn Workload> {
 
 /// Directory where JSON result copies are written.
 ///
-/// Anchored at the workspace `target/` directory rather than the process
-/// working directory: `cargo bench` runs bench binaries with the crate
-/// directory as cwd, which would otherwise scatter `crates/bench/target/`.
+/// Anchored at the cargo target directory rather than the process working
+/// directory: `cargo bench` runs bench binaries with the crate directory as
+/// cwd, which would otherwise scatter `crates/bench/target/`. Resolution
+/// order:
+///
+/// 1. `DISMEM_RESULTS_DIR` — explicit override, used verbatim;
+/// 2. `CARGO_TARGET_DIR` — honored at runtime, so redirected target
+///    directories receive the results;
+/// 3. the workspace `target/` next to this crate (compile-time fallback).
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("DISMEM_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/dismem-results")
-        });
+    let dir = if let Ok(dir) = std::env::var("DISMEM_RESULTS_DIR") {
+        PathBuf::from(dir)
+    } else if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        PathBuf::from(target).join("dismem-results")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/dismem-results")
+    };
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -141,6 +149,34 @@ mod tests {
                 Row::new("longer-row", vec!["3".into()]),
             ],
         );
+    }
+
+    #[test]
+    fn results_dir_resolution_order() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let tmp = std::env::temp_dir();
+
+        // CARGO_TARGET_DIR is honored at runtime when no explicit override
+        // is set.
+        std::env::remove_var("DISMEM_RESULTS_DIR");
+        std::env::set_var("CARGO_TARGET_DIR", tmp.join("dismem-target"));
+        assert_eq!(
+            results_dir(),
+            tmp.join("dismem-target").join("dismem-results")
+        );
+
+        // DISMEM_RESULTS_DIR wins over CARGO_TARGET_DIR.
+        std::env::set_var("DISMEM_RESULTS_DIR", tmp.join("dismem-explicit"));
+        assert_eq!(results_dir(), tmp.join("dismem-explicit"));
+
+        // Without either, the compile-time workspace target is used.
+        std::env::remove_var("DISMEM_RESULTS_DIR");
+        std::env::remove_var("CARGO_TARGET_DIR");
+        let fallback = results_dir();
+        assert!(fallback.ends_with("target/dismem-results"));
+
+        let _ = std::fs::remove_dir_all(tmp.join("dismem-target"));
+        let _ = std::fs::remove_dir_all(tmp.join("dismem-explicit"));
     }
 
     #[test]

@@ -99,8 +99,51 @@ fn schedule_for_trial(
     InterferenceProfile::schedule(epochs)
 }
 
+/// Runtime of one Monte Carlo trial. Each trial derives its RNG from the
+/// campaign seed and the trial index alone, so trials are order-independent
+/// and a campaign yields identical results however its trials are scheduled.
+fn trial_runtime(
+    report: &RunReport,
+    policy: SchedulingPolicy,
+    config: &CampaignConfig,
+    idle_runtime_s: f64,
+    trial: usize,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_add(trial as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ policy.max_loi().to_bits(),
+    );
+    let schedule = schedule_for_trial(
+        &mut rng,
+        idle_runtime_s,
+        config.epochs_per_run,
+        policy.max_loi(),
+    );
+    report.retime(&schedule).total_runtime_s
+}
+
+fn campaign_result(
+    workload_name: &str,
+    policy: SchedulingPolicy,
+    runtimes_s: Vec<f64>,
+) -> CampaignResult {
+    let summary = five_number_summary(&runtimes_s);
+    let mean_s = mean(&runtimes_s);
+    CampaignResult {
+        workload: workload_name.to_string(),
+        policy,
+        runtimes_s,
+        summary,
+        mean_s,
+    }
+}
+
 /// Runs a campaign for one workload (represented by its profiled pooled run)
-/// under one policy.
+/// under one policy. Trials execute concurrently on the thread pool; results
+/// are identical to [`run_campaign_sequential`] for the same inputs.
 pub fn run_campaign(
     workload_name: &str,
     report: &RunReport,
@@ -111,28 +154,26 @@ pub fn run_campaign(
     let idle = report.retime(&InterferenceProfile::Idle).total_runtime_s;
     let runtimes_s: Vec<f64> = (0..config.runs)
         .into_par_iter()
-        .map(|trial| {
-            let mut rng = StdRng::seed_from_u64(
-                config
-                    .seed
-                    .wrapping_add(trial as u64)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ policy.max_loi().to_bits(),
-            );
-            let schedule =
-                schedule_for_trial(&mut rng, idle, config.epochs_per_run, policy.max_loi());
-            report.retime(&schedule).total_runtime_s
-        })
+        .map(|trial| trial_runtime(report, policy, config, idle, trial))
         .collect();
-    let summary = five_number_summary(&runtimes_s);
-    let mean_s = mean(&runtimes_s);
-    CampaignResult {
-        workload: workload_name.to_string(),
-        policy,
-        runtimes_s,
-        summary,
-        mean_s,
-    }
+    campaign_result(workload_name, policy, runtimes_s)
+}
+
+/// Single-threaded reference implementation of [`run_campaign`], kept for
+/// the determinism tests (parallel and sequential execution must agree bit
+/// for bit) and for callers that want to avoid spawning workers.
+pub fn run_campaign_sequential(
+    workload_name: &str,
+    report: &RunReport,
+    policy: SchedulingPolicy,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    assert!(config.runs > 0 && config.epochs_per_run > 0);
+    let idle = report.retime(&InterferenceProfile::Idle).total_runtime_s;
+    let runtimes_s: Vec<f64> = (0..config.runs)
+        .map(|trial| trial_runtime(report, policy, config, idle, trial))
+        .collect();
+    campaign_result(workload_name, policy, runtimes_s)
 }
 
 /// Runs both policies for one workload and returns the comparison.
@@ -150,6 +191,32 @@ pub fn compare_policies(
             config,
         ),
         aware: run_campaign(
+            workload_name,
+            report,
+            SchedulingPolicy::InterferenceAware,
+            config,
+        ),
+    }
+}
+
+/// [`compare_policies`] with sequential campaigns: for callers that are
+/// already running one comparison per pool worker (e.g. a parallel sweep
+/// over workloads), where nesting the trial fan-out would oversubscribe the
+/// CPU with scoped threads. Results are identical to [`compare_policies`].
+pub fn compare_policies_sequential(
+    workload_name: &str,
+    report: &RunReport,
+    config: &CampaignConfig,
+) -> PolicyComparison {
+    PolicyComparison {
+        workload: workload_name.to_string(),
+        baseline: run_campaign_sequential(
+            workload_name,
+            report,
+            SchedulingPolicy::RandomBaseline,
+            config,
+        ),
+        aware: run_campaign_sequential(
             workload_name,
             report,
             SchedulingPolicy::InterferenceAware,
@@ -238,6 +305,58 @@ mod tests {
             &other_seed,
         );
         assert_ne!(a.runtimes_s, c.runtimes_s);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential_reference() {
+        let report = pooled_report(WorkloadKind::SuperLu);
+        for policy in [
+            SchedulingPolicy::RandomBaseline,
+            SchedulingPolicy::InterferenceAware,
+        ] {
+            let par = run_campaign("SuperLU", &report, policy, &small_config());
+            let seq = run_campaign_sequential("SuperLU", &report, policy, &small_config());
+            assert_eq!(
+                par.runtimes_s, seq.runtimes_s,
+                "parallel and sequential campaigns must agree bit for bit"
+            );
+            assert_eq!(par.mean_s, seq.mean_s);
+        }
+    }
+
+    #[test]
+    fn campaign_trials_use_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        assert!(
+            rayon::current_num_threads() >= 2,
+            "thread pool must have at least two workers"
+        );
+        // Observe the worker threads the campaign machinery actually uses by
+        // running the same par_iter shape the campaign runs.
+        let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        let report = pooled_report(WorkloadKind::Hpl);
+        let idle = report.retime(&InterferenceProfile::Idle).total_runtime_s;
+        let config = small_config();
+        let _runtimes: Vec<f64> = (0..config.runs)
+            .into_par_iter()
+            .map(|trial| {
+                seen.lock()
+                    .unwrap()
+                    .insert(format!("{:?}", std::thread::current().id()));
+                super::trial_runtime(
+                    &report,
+                    SchedulingPolicy::RandomBaseline,
+                    &config,
+                    idle,
+                    trial,
+                )
+            })
+            .collect();
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "campaign trials must execute on more than one thread"
+        );
     }
 
     #[test]

@@ -93,6 +93,10 @@ pub struct AddressSpace {
     assigned_pages: Vec<u64>,
     next_page: u64,
     page_tier: HashMap<u64, (Tier, ObjectHandle)>,
+    /// One-entry memo of the last [`AddressSpace::resolve_dram`] result
+    /// (page, tier, owner): lines of the same page skip the hash lookup.
+    /// Invalidated on free (the only operation that unbinds pages).
+    last_resolved: Option<(u64, Tier, ObjectHandle)>,
     local_pages_used: u64,
     pool_pages_used: u64,
     live_bytes: u64,
@@ -113,6 +117,7 @@ impl AddressSpace {
             assigned_pages: Vec::new(),
             next_page: 1, // keep page 0 unused so address 0 is never valid
             page_tier: HashMap::new(),
+            last_resolved: None,
             local_pages_used: 0,
             pool_pages_used: 0,
             live_bytes: 0,
@@ -158,6 +163,7 @@ impl AddressSpace {
             self.allocations[idx].name
         );
         self.allocations[idx].freed = true;
+        self.last_resolved = None;
         self.live_bytes = self.live_bytes.saturating_sub(self.allocations[idx].bytes);
         let extent = self.extents[idx].clone();
         for page in extent.first_page..extent.first_page + extent.page_count {
@@ -203,6 +209,49 @@ impl AddressSpace {
         let tier = self.place_page(page, owner, policy)?;
         self.bump_object_traffic(owner, tier);
         Ok(tier)
+    }
+
+    /// Resolves the tier and owner serving a DRAM access to `addr`, binding
+    /// the page on first touch, *without* recording per-page or per-object
+    /// traffic (see [`AddressSpace::record_dram_traffic`]).
+    ///
+    /// This is the bulk-pipeline half of [`AddressSpace::dram_access`]: a
+    /// one-entry memo makes repeated resolutions within the same page O(1),
+    /// so a batch of contiguous cache lines pays the hash lookup (and, on
+    /// first touch, the placement walk) once per page instead of once per
+    /// line.
+    pub fn resolve_dram(&mut self, addr: u64) -> Result<(Tier, ObjectHandle), OutOfMemory> {
+        let page = addr / dismem_trace::PAGE_SIZE;
+        if let Some((p, tier, owner)) = self.last_resolved {
+            if p == page {
+                return Ok((tier, owner));
+            }
+        }
+        let (tier, owner) = if let Some(&(tier, owner)) = self.page_tier.get(&page) {
+            (tier, owner)
+        } else {
+            let owner = self.owner_of_page(page).ok_or_else(|| OutOfMemory {
+                page,
+                object: "<unmapped>".to_string(),
+            })?;
+            let policy = self.allocations[owner.index()].policy;
+            (self.place_page(page, owner, policy)?, owner)
+        };
+        self.last_resolved = Some((page, tier, owner));
+        Ok((tier, owner))
+    }
+
+    /// Records `lines` DRAM line accesses to `page`, served from `tier` on
+    /// behalf of `owner`. Together with [`AddressSpace::resolve_dram`] this
+    /// is equivalent to `lines` calls of [`AddressSpace::dram_access`] for
+    /// addresses within one page, with the bookkeeping batched.
+    pub fn record_dram_traffic(&mut self, owner: ObjectHandle, tier: Tier, page: u64, lines: u64) {
+        self.histogram.record(page, lines);
+        let p = &mut self.placements[owner.index()];
+        match tier {
+            Tier::Local => p.dram_lines_local += lines,
+            Tier::Pool => p.dram_lines_pool += lines,
+        }
     }
 
     /// Tier currently bound to the page containing `addr`, if any.

@@ -31,6 +31,23 @@ pub struct DramEvent {
     pub kind: DramEventKind,
 }
 
+/// Consumer of DRAM transactions produced by the batched cache walk.
+///
+/// The per-line reference pipeline materializes [`DramEvent`]s into a queue
+/// and drains it; the batched pipeline hands each transaction to a sink the
+/// moment it is produced (same order, no queue), which lets the machine
+/// tally tiers and counters inline.
+pub trait DramSink {
+    /// Accepts one DRAM transaction.
+    fn event(&mut self, line_addr: u64, kind: DramEventKind);
+}
+
+impl DramSink for Vec<DramEvent> {
+    fn event(&mut self, line_addr: u64, kind: DramEventKind) {
+        self.push(DramEvent { line_addr, kind });
+    }
+}
+
 /// Kind of DRAM transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DramEventKind {
@@ -57,6 +74,10 @@ struct CacheLine {
 struct SetAssocCache {
     sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two: the batched fast path masks
+    /// instead of dividing (`None` falls back to the modulo used by the
+    /// per-line reference path — both compute the same set index).
+    set_mask: Option<usize>,
     lines: Vec<CacheLine>,
     clock: u64,
 }
@@ -67,21 +88,98 @@ struct Evicted {
     useless_prefetch: bool,
 }
 
+/// Result of [`SetAssocCache::fill_or_hit`].
+enum FillOutcome {
+    /// The line was already present (LRU refreshed, optionally dirtied).
+    Hit,
+    /// The line was inserted, evicting the carried victim if any.
+    Inserted(Option<Evicted>),
+}
+
 impl SetAssocCache {
     fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have at least one line");
         Self {
             sets,
             ways,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             lines: vec![CacheLine::default(); sets * ways],
             clock: 0,
         }
     }
 
+    #[inline]
     fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
-        let set = (line_addr as usize) % self.sets;
+        // Mask when the set count is a power of two (all shipped
+        // configurations), modulo otherwise — same index either way.
+        let set = match self.set_mask {
+            Some(mask) => (line_addr as usize) & mask,
+            None => (line_addr as usize) % self.sets,
+        };
         let start = set * self.ways;
         start..start + self.ways
+    }
+
+    /// Combined lookup + insert-on-miss in a single set scan, used by the
+    /// batched pipeline where a miss is the common case (LLC fills on a
+    /// stream): the victim falls out of the same pass that proves absence.
+    /// Clock/stamp evolution is exactly lookup-then-insert: one tick for the
+    /// lookup, a second for the insert when it happens.
+    #[inline]
+    fn fill_or_hit(
+        &mut self,
+        line_addr: u64,
+        mark_dirty_on_hit: bool,
+        insert_dirty: bool,
+        insert_prefetched: bool,
+    ) -> FillOutcome {
+        self.clock += 1;
+        let lookup_clock = self.clock;
+        let start = self.set_range(line_addr).start;
+        let ways = self.ways;
+        let mut first_invalid = None;
+        let mut victim_idx = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for i in 0..ways {
+            let l = &mut self.lines[start + i];
+            if l.valid {
+                if l.tag == line_addr {
+                    l.stamp = lookup_clock;
+                    if mark_dirty_on_hit {
+                        l.dirty = true;
+                    }
+                    return FillOutcome::Hit;
+                }
+                if first_invalid.is_none() && l.stamp < victim_stamp {
+                    victim_stamp = l.stamp;
+                    victim_idx = i;
+                }
+            } else if first_invalid.is_none() {
+                first_invalid = Some(i);
+            }
+        }
+        self.clock += 1;
+        let insert_clock = self.clock;
+        let slot = start + first_invalid.unwrap_or(victim_idx);
+        let victim = self.lines[slot];
+        let evicted = if victim.valid {
+            Some(Evicted {
+                tag: victim.tag,
+                dirty: victim.dirty,
+                useless_prefetch: victim.prefetched && !victim.used,
+            })
+        } else {
+            None
+        };
+        self.lines[slot] = CacheLine {
+            tag: line_addr,
+            valid: true,
+            dirty: insert_dirty,
+            prefetched: insert_prefetched,
+            used: !insert_prefetched,
+            stamp: insert_clock,
+        };
+        FillOutcome::Inserted(evicted)
     }
 
     /// Looks up a line; on hit, refreshes LRU and returns a mutable reference.
@@ -156,6 +254,10 @@ pub struct CacheSim {
     llc: SetAssocCache,
     prefetcher: StreamPrefetcher,
     prefetch_buf: Vec<u64>,
+    /// Memoized prefetcher stream-entry index for the batched path; carried
+    /// across calls (it is validated against the accessed page before use,
+    /// so staleness only costs a rescan).
+    stream_hint: usize,
 }
 
 impl CacheSim {
@@ -167,6 +269,7 @@ impl CacheSim {
             prefetcher,
             params,
             prefetch_buf: Vec::with_capacity(8),
+            stream_hint: usize::MAX,
         }
     }
 
@@ -235,6 +338,121 @@ impl CacheSim {
             self.insert_l2(pf_addr, false, true, counters, dram_events);
         }
         self.prefetch_buf = buf;
+    }
+
+    /// Performs demand accesses to the contiguous run of `line_count` cache
+    /// lines starting at `first_line`, in ascending order.
+    ///
+    /// Bit-identical to calling [`CacheSim::demand_access`] once per line,
+    /// but the per-line overheads are hoisted out of the loop: the prefetch
+    /// scratch buffer is borrowed once for the whole run and the prefetcher's
+    /// stream-entry scan is replaced by a memoized entry index that only
+    /// falls back to scanning when the 4 KiB page changes.
+    pub fn demand_access_range<S: DramSink>(
+        &mut self,
+        first_line: u64,
+        line_count: u64,
+        is_write: bool,
+        counters: &mut Counters,
+        sink: &mut S,
+    ) {
+        let mut buf = std::mem::take(&mut self.prefetch_buf);
+        let mut stream_hint = self.stream_hint;
+        for line_addr in first_line..first_line + line_count {
+            if is_write {
+                counters.demand_write_lines += 1;
+            } else {
+                counters.demand_read_lines += 1;
+            }
+
+            if let Some(line) = self.l2.lookup(line_addr) {
+                let first_use_of_prefetch = line.prefetched && !line.used;
+                if first_use_of_prefetch {
+                    line.used = true;
+                    counters.pf_useful += 1;
+                }
+                if is_write {
+                    line.dirty = true;
+                }
+                if first_use_of_prefetch {
+                    self.prefetcher.feedback(true);
+                }
+            } else {
+                counters.l2_demand_misses += 1;
+                counters.l2_lines_in += 1;
+                self.llc_fill_fast(line_addr, true, sink);
+                let evicted = self.l2.insert(line_addr, is_write, false);
+                self.handle_l2_victim(evicted, counters, sink);
+            }
+
+            buf.clear();
+            self.prefetcher
+                .observe_hinted(line_addr, &mut buf, &mut stream_hint);
+            for &pf_addr in &buf {
+                if self.l2.contains(pf_addr) {
+                    continue;
+                }
+                counters.pf_issued += 1;
+                counters.l2_lines_in += 1;
+                self.llc_fill_fast(pf_addr, false, sink);
+                let evicted = self.l2.insert(pf_addr, false, true);
+                self.handle_l2_victim(evicted, counters, sink);
+            }
+        }
+        self.stream_hint = stream_hint;
+        self.prefetch_buf = buf;
+    }
+
+    /// Fill from the LLC level with a single combined set scan (lookup +
+    /// victim selection), emitting DRAM transactions to the sink. Identical
+    /// to [`CacheSim::fill_from_below`].
+    #[inline]
+    fn llc_fill_fast<S: DramSink>(&mut self, line_addr: u64, demand: bool, sink: &mut S) {
+        match self.llc.fill_or_hit(line_addr, false, false, !demand) {
+            FillOutcome::Hit => {}
+            FillOutcome::Inserted(victim) => {
+                sink.event(
+                    line_addr,
+                    if demand {
+                        DramEventKind::DemandFill
+                    } else {
+                        DramEventKind::PrefetchFill
+                    },
+                );
+                if let Some(victim) = victim {
+                    if victim.dirty {
+                        sink.event(victim.tag, DramEventKind::Writeback);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles the victim of an L2 insert on the batched path (useless-
+    /// prefetch accounting and the dirty writeback towards LLC / DRAM).
+    /// Identical to the victim handling of [`CacheSim::insert_l2`].
+    #[inline]
+    fn handle_l2_victim<S: DramSink>(
+        &mut self,
+        evicted: Option<Evicted>,
+        counters: &mut Counters,
+        sink: &mut S,
+    ) {
+        if let Some(victim) = evicted {
+            if victim.useless_prefetch {
+                counters.useless_hwpf += 1;
+                self.prefetcher.feedback(false);
+            }
+            if victim.dirty {
+                match self.llc.fill_or_hit(victim.tag, true, true, false) {
+                    FillOutcome::Hit => {}
+                    FillOutcome::Inserted(Some(llc_victim)) if llc_victim.dirty => {
+                        sink.event(llc_victim.tag, DramEventKind::Writeback);
+                    }
+                    FillOutcome::Inserted(_) => {}
+                }
+            }
+        }
     }
 
     /// Brings a line into the hierarchy from LLC or DRAM.

@@ -6,7 +6,7 @@
 //! (interference) and the timing model (runtime) and produces a [`RunReport`].
 
 use crate::address_space::{AddressSpace, Tier};
-use crate::cache::{CacheSim, DramEvent, DramEventKind};
+use crate::cache::{CacheSim, DramEvent, DramEventKind, DramSink};
 use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::interference::InterferenceProfile;
@@ -14,6 +14,163 @@ use crate::prefetch::StreamPrefetcher;
 use crate::report::{AllocationSummary, PhaseReport, RunReport, TimelineSample};
 use crate::timing::TimingModel;
 use dismem_trace::{AccessKind, MemoryEngine, ObjectHandle, PlacementPolicy, CACHE_LINE_SIZE};
+
+/// Cache lines per page (pages and cache lines are both powers of two).
+const LINES_PER_PAGE: u64 = dismem_trace::PAGE_SIZE / CACHE_LINE_SIZE;
+
+/// One page's worth of pending DRAM traffic in the batched tally sink.
+#[derive(Clone, Copy)]
+struct MemoSlot {
+    page: u64,
+    tier: Tier,
+    owner: ObjectHandle,
+    /// DRAM lines recorded against this page since the slot was loaded.
+    pending: u64,
+}
+
+const EMPTY_SLOT: MemoSlot = MemoSlot {
+    page: u64::MAX,
+    tier: Tier::Local,
+    owner: ObjectHandle(u32::MAX),
+    pending: 0,
+};
+
+/// DRAM-traffic deltas produced by one batched cache walk, folded into the
+/// open chunk after the walk (u64 additions commute, so folding at element
+/// boundaries instead of per event leaves every chunk-close decision — and
+/// therefore the timeline — bit-identical to the per-line reference path).
+#[derive(Default, Clone, Copy)]
+struct DramTally {
+    dram_lines_local: u64,
+    dram_lines_pool: u64,
+    demand_dram_lines_local: u64,
+    demand_dram_lines_pool: u64,
+    writeback_lines_local: u64,
+    writeback_lines_pool: u64,
+    pool_link_lines: u64,
+}
+
+impl DramTally {
+    /// The single (tier, kind) → counter mapping shared by both pipelines:
+    /// the per-line drain folds a tally per event, the batched sink per
+    /// element/walk — u64 additions commute, so totals agree bit for bit.
+    #[inline]
+    fn tally(&mut self, tier: Tier, kind: DramEventKind) {
+        match (tier, kind) {
+            (Tier::Local, DramEventKind::DemandFill) => {
+                self.dram_lines_local += 1;
+                self.demand_dram_lines_local += 1;
+            }
+            (Tier::Local, DramEventKind::PrefetchFill) => {
+                self.dram_lines_local += 1;
+            }
+            (Tier::Local, DramEventKind::Writeback) => {
+                self.writeback_lines_local += 1;
+            }
+            (Tier::Pool, DramEventKind::DemandFill) => {
+                self.dram_lines_pool += 1;
+                self.demand_dram_lines_pool += 1;
+            }
+            (Tier::Pool, DramEventKind::PrefetchFill) => {
+                self.dram_lines_pool += 1;
+            }
+            (Tier::Pool, DramEventKind::Writeback) => {
+                self.writeback_lines_pool += 1;
+            }
+        }
+        if tier == Tier::Pool {
+            self.pool_link_lines += 1;
+        }
+    }
+
+    fn fold_into(&mut self, chunk: &mut Counters, pool_link_lines: &mut u64) {
+        chunk.dram_lines_local += self.dram_lines_local;
+        chunk.dram_lines_pool += self.dram_lines_pool;
+        chunk.demand_dram_lines_local += self.demand_dram_lines_local;
+        chunk.demand_dram_lines_pool += self.demand_dram_lines_pool;
+        chunk.writeback_lines_local += self.writeback_lines_local;
+        chunk.writeback_lines_pool += self.writeback_lines_pool;
+        *pool_link_lines += self.pool_link_lines;
+        *self = DramTally::default();
+    }
+}
+
+/// Inline consumer of the batched cache walk's DRAM transactions: resolves
+/// the serving tier with a two-slot page memo (fills and victim writebacks
+/// usually alternate between two pages), tallies counters, and batches the
+/// per-page histogram / per-object traffic recording.
+struct TallySink<'a> {
+    space: &'a mut AddressSpace,
+    memo: [MemoSlot; 2],
+    /// Which memo slot was used last (victim preference for reloads).
+    last_hit: usize,
+    tally: DramTally,
+}
+
+impl<'a> TallySink<'a> {
+    fn new(space: &'a mut AddressSpace) -> Self {
+        Self {
+            space,
+            memo: [EMPTY_SLOT; 2],
+            last_hit: 0,
+            tally: DramTally::default(),
+        }
+    }
+
+    /// Writes the pending per-page traffic of both memo slots back to the
+    /// address space. Must be called before the sink is dropped.
+    fn flush(&mut self) {
+        for slot in &mut self.memo {
+            if slot.pending > 0 {
+                self.space
+                    .record_dram_traffic(slot.owner, slot.tier, slot.page, slot.pending);
+                slot.pending = 0;
+            }
+        }
+    }
+
+    #[inline]
+    fn slot_for(&mut self, line_addr: u64) -> usize {
+        let page = line_addr / LINES_PER_PAGE;
+        if self.memo[self.last_hit].page == page {
+            return self.last_hit;
+        }
+        let other = 1 - self.last_hit;
+        if self.memo[other].page == page {
+            self.last_hit = other;
+            return other;
+        }
+        // Miss: resolve the page and load it into the slot not just used.
+        let (tier, owner) = match self.space.resolve_dram(line_addr * CACHE_LINE_SIZE) {
+            Ok(resolved) => resolved,
+            Err(oom) => panic!("simulated OOM abort: {oom}"),
+        };
+        let victim = &mut self.memo[other];
+        if victim.pending > 0 {
+            self.space
+                .record_dram_traffic(victim.owner, victim.tier, victim.page, victim.pending);
+        }
+        self.memo[other] = MemoSlot {
+            page,
+            tier,
+            owner,
+            pending: 0,
+        };
+        self.last_hit = other;
+        other
+    }
+}
+
+impl DramSink for TallySink<'_> {
+    #[inline]
+    fn event(&mut self, line_addr: u64, kind: DramEventKind) {
+        let slot = self.slot_for(line_addr);
+        let memo = &mut self.memo[slot];
+        memo.pending += 1;
+        let tier = memo.tier;
+        self.tally.tally(tier, kind);
+    }
+}
 
 /// The simulated compute node.
 pub struct Machine {
@@ -26,6 +183,15 @@ pub struct Machine {
     clock_s: f64,
     chunk: Counters,
     dram_events: Vec<DramEvent>,
+    /// Pool-tier DRAM lines accumulated in the open chunk; folded into
+    /// `chunk.link_raw_bytes` (payload × protocol overhead, rounded once)
+    /// when the chunk closes, so the protocol overhead is exact instead of
+    /// accumulating per-line rounding drift.
+    chunk_pool_link_lines: u64,
+    /// Whether the batched line-walk fast path is used (default). Disabled,
+    /// the machine walks every access line by line exactly as the reference
+    /// implementation does — the two paths produce bit-identical reports.
+    batched: bool,
 
     phase_names: Vec<String>,
     phase_counters: Vec<Counters>,
@@ -52,6 +218,8 @@ impl Machine {
             clock_s: 0.0,
             chunk: Counters::default(),
             dram_events: Vec::with_capacity(64),
+            chunk_pool_link_lines: 0,
+            batched: true,
             phase_names: Vec::new(),
             phase_counters: Vec::new(),
             phase_runtimes: Vec::new(),
@@ -79,6 +247,20 @@ impl Machine {
     /// Enables or disables the hardware prefetcher (MSR 0x1a4 analogue).
     pub fn set_prefetch_enabled(&mut self, enabled: bool) {
         self.cache.set_prefetch_enabled(enabled);
+    }
+
+    /// Enables or disables the batched line-walk fast path (enabled by
+    /// default). With batching off the machine processes every access with
+    /// the per-line reference pipeline; results are bit-identical either way
+    /// (guaranteed by the workspace property tests), only the wall-clock
+    /// speed differs.
+    pub fn set_batched_access(&mut self, enabled: bool) {
+        self.batched = enabled;
+    }
+
+    /// Whether the batched line-walk fast path is enabled.
+    pub fn batched_access(&self) -> bool {
+        self.batched
     }
 
     /// Current simulated time in seconds.
@@ -136,6 +318,15 @@ impl Machine {
     }
 
     fn close_chunk(&mut self) {
+        if self.chunk_pool_link_lines > 0 {
+            // Fold the chunk's pool traffic into raw link bytes in one step:
+            // exact payload × protocol overhead, rounded once per chunk
+            // instead of once per line.
+            let payload = (self.chunk_pool_link_lines * self.config.cache.line_bytes) as f64;
+            self.chunk.link_raw_bytes =
+                (payload * self.config.link.protocol_overhead()).round() as u64;
+            self.chunk_pool_link_lines = 0;
+        }
         if self.chunk == Counters::default() {
             return;
         }
@@ -157,53 +348,105 @@ impl Machine {
         self.chunk = Counters::default();
     }
 
+    /// The chunk-close policy, shared by `maybe_close_chunk` and the batched
+    /// element walk so the two pipelines can never disagree on boundaries.
+    /// An associated function over the fields it needs, so callers holding
+    /// disjoint field borrows (the batched walk's tally sink) can use it.
+    fn chunk_full(config: &MachineConfig, chunk: &Counters) -> bool {
+        chunk.bytes_dram(config.cache.line_bytes) >= config.chunk_bytes
+            || chunk.flops >= config.chunk_flops
+    }
+
     fn maybe_close_chunk(&mut self) {
-        let line = self.config.cache.line_bytes;
-        if self.chunk.bytes_dram(line) >= self.config.chunk_bytes
-            || self.chunk.flops >= self.config.chunk_flops
-        {
+        if Self::chunk_full(&self.config, &self.chunk) {
             self.close_chunk();
         }
     }
 
+    /// Per-line reference drain: resolves the serving tier event by event
+    /// through the shared counter mapping, folded once per drain.
     fn process_dram_events(&mut self) {
-        let line_bytes = self.config.cache.line_bytes;
-        let overhead = self.config.link.protocol_overhead();
         // Drain into a local buffer to avoid borrowing issues.
         let mut events = std::mem::take(&mut self.dram_events);
+        let mut tally = DramTally::default();
         for ev in events.drain(..) {
             let addr = ev.line_addr * CACHE_LINE_SIZE;
             let tier = match self.space.dram_access(addr) {
                 Ok(t) => t,
                 Err(oom) => panic!("simulated OOM abort: {oom}"),
             };
-            match (tier, ev.kind) {
-                (Tier::Local, DramEventKind::DemandFill) => {
-                    self.chunk.dram_lines_local += 1;
-                    self.chunk.demand_dram_lines_local += 1;
-                }
-                (Tier::Local, DramEventKind::PrefetchFill) => {
-                    self.chunk.dram_lines_local += 1;
-                }
-                (Tier::Local, DramEventKind::Writeback) => {
-                    self.chunk.writeback_lines_local += 1;
-                }
-                (Tier::Pool, DramEventKind::DemandFill) => {
-                    self.chunk.dram_lines_pool += 1;
-                    self.chunk.demand_dram_lines_pool += 1;
-                }
-                (Tier::Pool, DramEventKind::PrefetchFill) => {
-                    self.chunk.dram_lines_pool += 1;
-                }
-                (Tier::Pool, DramEventKind::Writeback) => {
-                    self.chunk.writeback_lines_pool += 1;
-                }
-            }
-            if tier == Tier::Pool {
-                self.chunk.link_raw_bytes += (line_bytes as f64 * overhead).round() as u64;
+            tally.tally(tier, ev.kind);
+        }
+        tally.fold_into(&mut self.chunk, &mut self.chunk_pool_link_lines);
+        self.dram_events = events;
+    }
+
+    /// Batched walk over a contiguous run of cache lines: the cache walks
+    /// the whole run in one call and every DRAM transaction is tallied
+    /// inline by a [`TallySink`] — no event queue, no per-line drain.
+    fn walk_lines_batched(&mut self, first_line: u64, last_line: u64, is_write: bool) {
+        let mut sink = TallySink::new(&mut self.space);
+        self.cache.demand_access_range(
+            first_line,
+            last_line - first_line + 1,
+            is_write,
+            &mut self.chunk,
+            &mut sink,
+        );
+        sink.flush();
+        let mut tally = sink.tally;
+        tally.fold_into(&mut self.chunk, &mut self.chunk_pool_link_lines);
+    }
+
+    /// Batched scattered-element walk shared by `gather_batch` and
+    /// `strided_batch`: element line-runs stream through one tally sink;
+    /// chunk-close decisions are evaluated at the same element boundaries as
+    /// the per-element reference path.
+    fn walk_elements_batched(
+        &mut self,
+        handle: ObjectHandle,
+        offsets: impl Iterator<Item = u64>,
+        elem_bytes: u64,
+        kind: AccessKind,
+    ) {
+        let object_bytes = self.space.object_bytes(handle);
+        let base = self.space.base_addr(handle);
+        let is_write = kind.is_write();
+        let mut sink = TallySink::new(&mut self.space);
+        for offset in offsets {
+            debug_assert!(
+                offset + elem_bytes <= object_bytes.max(dismem_trace::PAGE_SIZE),
+                "access beyond end of object (offset {offset} + {elem_bytes} > {object_bytes})"
+            );
+            let addr = base + offset;
+            let first_line = addr / CACHE_LINE_SIZE;
+            let last_line = (addr + elem_bytes - 1) / CACHE_LINE_SIZE;
+            self.cache.demand_access_range(
+                first_line,
+                last_line - first_line + 1,
+                is_write,
+                &mut self.chunk,
+                &mut sink,
+            );
+            // The per-element reference path calls `maybe_close_chunk` after
+            // every element. Fold this element's DRAM traffic into the chunk
+            // and take the identical decision; chunk closes are rare (once
+            // per `chunk_bytes` of traffic), so releasing and re-creating
+            // the sink around them costs nothing.
+            sink.tally
+                .fold_into(&mut self.chunk, &mut self.chunk_pool_link_lines);
+            if Self::chunk_full(&self.config, &self.chunk) {
+                // The sink's borrow of `self.space` ends with this flush
+                // (its last use), freeing `self` for the chunk close.
+                sink.flush();
+                self.close_chunk();
+                sink = TallySink::new(&mut self.space);
             }
         }
-        self.dram_events = events;
+        sink.flush();
+        let mut tally = sink.tally;
+        tally.fold_into(&mut self.chunk, &mut self.chunk_pool_link_lines);
+        self.maybe_close_chunk();
     }
 
     /// Direct access to the underlying address space (placement inspection).
@@ -264,14 +507,66 @@ impl MemoryEngine for Machine {
         let first_line = base / CACHE_LINE_SIZE;
         let last_line = (base + bytes - 1) / CACHE_LINE_SIZE;
         let is_write = kind.is_write();
-        for line in first_line..=last_line {
-            self.cache
-                .demand_access(line, is_write, &mut self.chunk, &mut self.dram_events);
-            if !self.dram_events.is_empty() {
-                self.process_dram_events();
+        if self.batched {
+            self.walk_lines_batched(first_line, last_line, is_write);
+        } else {
+            for line in first_line..=last_line {
+                self.cache
+                    .demand_access(line, is_write, &mut self.chunk, &mut self.dram_events);
+                if !self.dram_events.is_empty() {
+                    self.process_dram_events();
+                }
             }
         }
         self.maybe_close_chunk();
+    }
+
+    fn gather_batch(
+        &mut self,
+        handle: ObjectHandle,
+        offsets: &[u64],
+        elem_bytes: u64,
+        kind: AccessKind,
+    ) {
+        if elem_bytes == 0 || offsets.is_empty() {
+            return;
+        }
+        if !self.batched {
+            // Reference path: exactly the trait's default per-element loop.
+            for &off in offsets {
+                self.access(handle, off, elem_bytes, kind);
+            }
+            return;
+        }
+        self.walk_elements_batched(handle, offsets.iter().copied(), elem_bytes, kind);
+    }
+
+    fn strided_batch(
+        &mut self,
+        handle: ObjectHandle,
+        start: u64,
+        count: u64,
+        elem_bytes: u64,
+        stride_bytes: u64,
+        kind: AccessKind,
+    ) {
+        if elem_bytes == 0 || count == 0 {
+            return;
+        }
+        if !self.batched {
+            let mut offset = start;
+            for _ in 0..count {
+                self.access(handle, offset, elem_bytes, kind);
+                offset += stride_bytes;
+            }
+            return;
+        }
+        self.walk_elements_batched(
+            handle,
+            (0..count).map(|i| start + i * stride_bytes),
+            elem_bytes,
+            kind,
+        );
     }
 
     fn flops(&mut self, n: u64) {
@@ -464,6 +759,48 @@ mod tests {
         let mut m = Machine::new(config);
         let a = m.alloc("A", "t", 4 * PAGE_SIZE);
         m.touch(a, 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn batched_and_per_line_paths_are_bit_identical() {
+        let run = |batched: bool, big_cache: bool| {
+            let mut config = MachineConfig::test_config().with_local_capacity(24 * PAGE_SIZE);
+            if big_cache {
+                // Production-like geometry: 512 L2 sets / 2 MiB LLC.
+                config.cache = crate::config::CacheParams::scaled_emulation();
+            }
+            let mut m = Machine::new(config);
+            m.set_batched_access(batched);
+            assert_eq!(m.batched_access(), batched);
+            let a = m.alloc("stream", "t", 2 << 20);
+            let b = m.alloc("table", "t", 1 << 20);
+            m.phase_start("mixed");
+            m.touch(a, 2 << 20);
+            m.touch(b, 1 << 20);
+            m.read(a, 0, 2 << 20);
+            m.strided(b, 8, 500, 16, 1024, AccessKind::Read);
+            m.gather(b, &[0, 64, 8192, 128, 65_536, 40], 8);
+            m.scatter(a, &[4096, 0, 123_456], 8);
+            m.flops(2_000_000);
+            m.phase_end();
+            m.free(b);
+            let c = m.alloc("late", "t", 256 * 1024);
+            m.phase_start("tail");
+            m.touch(c, 256 * 1024);
+            m.read(c, 0, 256 * 1024);
+            // Interrupt a stream with conflicting traffic, then resume it:
+            // prefetched-ahead lines may be conflict-evicted in between.
+            m.read(a, 0, 64 * 1024);
+            m.read(c, 0, 256 * 1024);
+            m.read(a, 64 * 1024, 64 * 1024);
+            m.phase_end();
+            m.finish()
+        };
+        for big_cache in [false, true] {
+            let batched = run(true, big_cache);
+            let per_line = run(false, big_cache);
+            assert_eq!(batched, per_line);
+        }
     }
 
     #[test]

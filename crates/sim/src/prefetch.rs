@@ -81,6 +81,11 @@ impl StreamPrefetcher {
 
     /// Prefetch degree after accuracy-based throttling.
     fn effective_degree(&self) -> u64 {
+        if self.feedback_useless == 0 {
+            // No useless prefetches: accuracy is 1.0 whether or not the
+            // warmup threshold is reached — full degree, no division needed.
+            return self.params.degree as u64;
+        }
         let acc = self.observed_accuracy();
         if acc >= 0.60 {
             self.params.degree as u64
@@ -112,6 +117,19 @@ impl StreamPrefetcher {
     /// Observes a demand access to cache line `line_addr` and appends the
     /// line addresses that should be prefetched to `out`.
     pub fn observe(&mut self, line_addr: u64, out: &mut Vec<u64>) {
+        self.observe_impl(line_addr, out, None);
+    }
+
+    /// Like [`StreamPrefetcher::observe`], but keeps the index of the stream
+    /// entry used in `hint` so a caller walking a contiguous line run pays
+    /// the entry scan only when the page changes. Results are bit-identical
+    /// to `observe`: stream entries are unique per page, so verifying that
+    /// the hinted entry still tracks this page is equivalent to the scan.
+    pub fn observe_hinted(&mut self, line_addr: u64, out: &mut Vec<u64>, hint: &mut usize) {
+        self.observe_impl(line_addr, out, Some(hint));
+    }
+
+    fn observe_impl(&mut self, line_addr: u64, out: &mut Vec<u64>, hint: Option<&mut usize>) {
         if !self.params.enabled {
             return;
         }
@@ -119,12 +137,17 @@ impl StreamPrefetcher {
         let page = line_addr / LINES_PER_PAGE;
         let line_in_page = line_addr % LINES_PER_PAGE;
 
-        // Find existing stream for this page.
-        let mut found: Option<usize> = None;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.valid && e.page == page {
-                found = Some(i);
-                break;
+        // Find existing stream for this page: through the caller's memoized
+        // entry index when it still matches, by scanning otherwise.
+        let mut found: Option<usize> = hint.as_deref().copied().filter(|&i| {
+            i < self.entries.len() && self.entries[i].valid && self.entries[i].page == page
+        });
+        if found.is_none() {
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.valid && e.page == page {
+                    found = Some(i);
+                    break;
+                }
             }
         }
 
@@ -132,33 +155,36 @@ impl StreamPrefetcher {
             Some(i) => i,
             None => {
                 // Allocate a new entry, evicting the LRU one if full.
-                if self.entries.len() < self.params.max_streams {
-                    self.entries.push(StreamEntry {
-                        page,
-                        last_line: line_in_page,
-                        run: 1,
-                        stamp: self.clock,
-                        valid: true,
-                    });
-                    return;
-                }
-                let lru = self
-                    .entries
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.stamp)
-                    .map(|(i, _)| i)
-                    .unwrap();
-                self.entries[lru] = StreamEntry {
+                let fresh = StreamEntry {
                     page,
                     last_line: line_in_page,
                     run: 1,
                     stamp: self.clock,
                     valid: true,
                 };
+                let slot = if self.entries.len() < self.params.max_streams {
+                    self.entries.push(fresh);
+                    self.entries.len() - 1
+                } else {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    self.entries[lru] = fresh;
+                    lru
+                };
+                if let Some(h) = hint {
+                    *h = slot;
+                }
                 return;
             }
         };
+        if let Some(h) = hint {
+            *h = idx;
+        }
 
         let entry = &mut self.entries[idx];
         entry.stamp = self.clock;

@@ -8,7 +8,7 @@ use dismem_trace::PageHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Counters and runtime of one profiled phase.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhaseReport {
     /// Phase tag passed to `phase_start`.
     pub name: String,
@@ -57,7 +57,7 @@ impl PhaseReport {
 }
 
 /// Placement and traffic summary of one allocation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AllocationSummary {
     /// Object name.
     pub name: String,
@@ -96,7 +96,7 @@ impl AllocationSummary {
 }
 
 /// One timing chunk: a slice of work with its counters and duration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimelineSample {
     /// Simulated start time of the chunk.
     pub start_s: f64,
@@ -119,7 +119,7 @@ pub struct RetimedRun {
 }
 
 /// Full output of one simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Machine configuration the run used.
     pub config: MachineConfig,

@@ -46,6 +46,57 @@ pub trait MemoryEngine {
     fn flops(&mut self, n: u64);
 
     // ---------------------------------------------------------------------
+    // Bulk access API
+    // ---------------------------------------------------------------------
+    //
+    // Semantically these are exactly the per-access loops their default
+    // bodies spell out; a backend may override them to process the covered
+    // cache lines in one batched pass (the simulator walks contiguous line
+    // runs in a single call, drains DRAM events once per batch and memoizes
+    // page lookups). Overrides must be observationally identical to the
+    // defaults — the workspace property tests compare both paths bit for bit.
+
+    /// Bulk contiguous access: identical to [`MemoryEngine::access`], but
+    /// explicitly marks the range as one batch for backends with a bulk fast
+    /// path.
+    fn access_range(&mut self, handle: ObjectHandle, offset: u64, bytes: u64, kind: AccessKind) {
+        self.access(handle, offset, bytes, kind);
+    }
+
+    /// Bulk scattered access: identical to calling [`MemoryEngine::access`]
+    /// once per offset, in order, with `elem_bytes` bytes each.
+    fn gather_batch(
+        &mut self,
+        handle: ObjectHandle,
+        offsets: &[u64],
+        elem_bytes: u64,
+        kind: AccessKind,
+    ) {
+        for &off in offsets {
+            self.access(handle, off, elem_bytes, kind);
+        }
+    }
+
+    /// Bulk strided sweep: identical to calling [`MemoryEngine::access`] for
+    /// `count` elements of `elem_bytes` bytes, `stride_bytes` apart, starting
+    /// at `start`.
+    fn strided_batch(
+        &mut self,
+        handle: ObjectHandle,
+        start: u64,
+        count: u64,
+        elem_bytes: u64,
+        stride_bytes: u64,
+        kind: AccessKind,
+    ) {
+        let mut offset = start;
+        for _ in 0..count {
+            self.access(handle, offset, elem_bytes, kind);
+            offset += stride_bytes;
+        }
+    }
+
+    // ---------------------------------------------------------------------
     // Provided convenience API
     // ---------------------------------------------------------------------
 
@@ -67,11 +118,13 @@ pub trait MemoryEngine {
     /// Sequentially writes the whole object, modelling its initialization.
     /// Under first-touch placement this is what binds pages to tiers.
     fn touch(&mut self, handle: ObjectHandle, bytes: u64) {
-        self.access(handle, 0, bytes, AccessKind::Write);
+        self.access_range(handle, 0, bytes, AccessKind::Write);
     }
 
     /// Strided sweep over `count` elements of `elem_bytes` bytes separated by
-    /// `stride_bytes`, starting at `start`.
+    /// `stride_bytes`, starting at `start`. Routed through
+    /// [`MemoryEngine::strided_batch`] so batched backends see the whole
+    /// sweep at once.
     fn strided(
         &mut self,
         handle: ObjectHandle,
@@ -81,26 +134,18 @@ pub trait MemoryEngine {
         stride_bytes: u64,
         kind: AccessKind,
     ) {
-        let mut offset = start;
-        for _ in 0..count {
-            self.access(handle, offset, elem_bytes, kind);
-            offset += stride_bytes;
-        }
+        self.strided_batch(handle, start, count, elem_bytes, stride_bytes, kind);
     }
 
     /// Reads a set of scattered element offsets (e.g. gather of graph
     /// neighbours or Monte-Carlo table lookups).
     fn gather(&mut self, handle: ObjectHandle, offsets: &[u64], elem_bytes: u64) {
-        for &off in offsets {
-            self.access(handle, off, elem_bytes, AccessKind::Read);
-        }
+        self.gather_batch(handle, offsets, elem_bytes, AccessKind::Read);
     }
 
     /// Writes a set of scattered element offsets.
     fn scatter(&mut self, handle: ObjectHandle, offsets: &[u64], elem_bytes: u64) {
-        for &off in offsets {
-            self.access(handle, off, elem_bytes, AccessKind::Write);
-        }
+        self.gather_batch(handle, offsets, elem_bytes, AccessKind::Write);
     }
 
     /// Runs `body` bracketed by `phase_start(name)` / `phase_end()`.
@@ -138,6 +183,40 @@ mod tests {
         assert_eq!(stats.bytes_read, 32 + 24);
         assert_eq!(stats.total_flops, 10);
         assert_eq!(stats.phases.len(), 1);
+    }
+
+    #[test]
+    fn bulk_defaults_match_per_access_loops() {
+        // The default bulk implementations must be indistinguishable from the
+        // spelled-out per-access loops.
+        let mut bulk = TraceRecorder::new();
+        let hb = bulk.alloc("A", "test", 8192);
+        bulk.access_range(hb, 0, 4096, AccessKind::Write);
+        bulk.gather_batch(hb, &[0, 256, 4096], 8, AccessKind::Read);
+        bulk.strided_batch(hb, 64, 4, 8, 128, AccessKind::Write);
+
+        let mut manual = TraceRecorder::new();
+        let hm = manual.alloc("A", "test", 8192);
+        manual.access(hm, 0, 4096, AccessKind::Write);
+        for off in [0u64, 256, 4096] {
+            manual.access(hm, off, 8, AccessKind::Read);
+        }
+        for i in 0..4u64 {
+            manual.access(hm, 64 + i * 128, 8, AccessKind::Write);
+        }
+
+        let (b, m) = (bulk.stats(), manual.stats());
+        assert_eq!(b.bytes_read, m.bytes_read);
+        assert_eq!(b.bytes_written, m.bytes_written);
+        assert_eq!(
+            bulk.histogram()
+                .iter()
+                .collect::<std::collections::BTreeMap<_, _>>(),
+            manual
+                .histogram()
+                .iter()
+                .collect::<std::collections::BTreeMap<_, _>>()
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 /// address space. The histogram is the raw material for the
 /// bandwidth-capacity scaling curve: pages sorted by hotness vs the cumulative
 /// share of accesses they receive.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageHistogram {
     counts: HashMap<u64, u64>,
 }

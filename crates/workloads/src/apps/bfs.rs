@@ -223,6 +223,7 @@ impl Bfs {
                 let mut next = Vec::new();
                 let mut appended: u64 = 0;
 
+                let mut parent_reads: Vec<u64> = Vec::new();
                 for &u in &frontier {
                     let u = u as usize;
                     // Read the two offsets bounding u's adjacency list.
@@ -230,17 +231,20 @@ impl Bfs {
                     let neighbours = g.neighbours(u);
                     if !neighbours.is_empty() {
                         // Stream the adjacency slice.
-                        engine.access(
+                        engine.access_range(
                             edges,
                             g.offsets[u] * 4,
                             neighbours.len() as u64 * 4,
                             AccessKind::Read,
                         );
                     }
+                    // Check the parents of all of u's neighbours: one bulk
+                    // gather of random accesses into Parents.
+                    parent_reads.clear();
+                    parent_reads.extend(neighbours.iter().map(|&v| v as u64 * 8));
+                    engine.gather(parents, &parent_reads, 8);
                     for &v in neighbours {
                         let v = v as usize;
-                        // Check the parent of v (random access into Parents).
-                        engine.access(parents, v as u64 * 8, 8, AccessKind::Read);
                         if parents_data[v] == u32::MAX {
                             parents_data[v] = u as u32;
                             engine.access(parents, v as u64 * 8, 8, AccessKind::Write);

@@ -122,7 +122,7 @@ impl Workload for SuperLu {
         // structure (streaming over A plus light integer work).
         engine.phase_start("p1-setup");
         engine.touch(matrix, s.matrix_bytes());
-        engine.access(matrix, 0, s.matrix_bytes(), AccessKind::Read);
+        engine.access_range(matrix, 0, s.matrix_bytes(), AccessKind::Read);
         engine.touch(perm, (s.num_cols * 16) as u64);
         engine.flops(s.matrix_nnz);
         engine.phase_end();
@@ -138,9 +138,9 @@ impl Workload for SuperLu {
             let a_read_bytes = (sn.width as u64 * sn.height as u64).min(64 * 1024);
             let a_off =
                 (sn.start_col as u64 * 12).min(s.matrix_bytes().saturating_sub(a_read_bytes));
-            engine.access(matrix, a_off, a_read_bytes, AccessKind::Read);
-            engine.access(factor, panel_off, panel_bytes, AccessKind::Read);
-            engine.access(factor, panel_off, panel_bytes, AccessKind::Write);
+            engine.access_range(matrix, a_off, a_read_bytes, AccessKind::Read);
+            engine.access_range(factor, panel_off, panel_bytes, AccessKind::Read);
+            engine.access_range(factor, panel_off, panel_bytes, AccessKind::Write);
             engine.flops(sn.factor_flops());
 
             // Update later supernodes with small scattered blocks: each update
@@ -171,7 +171,7 @@ impl Workload for SuperLu {
 
         // Phase 3: forward/backward triangular solves (stream the factor).
         engine.phase_start("p3-solve");
-        engine.access(factor, 0, s.factor_bytes(), AccessKind::Read);
+        engine.access_range(factor, 0, s.factor_bytes(), AccessKind::Read);
         engine.flops(2 * s.factor_elements);
         engine.phase_end();
     }

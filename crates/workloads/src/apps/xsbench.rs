@@ -186,12 +186,17 @@ impl Workload for XsBench {
             }
 
             // Gather the two bracketing gridpoints for every isotope and
-            // interpolate (6 values each).
-            for iso in 0..p.isotopes as u64 {
-                let base = iso * iso_stride + gridpoint * 48;
-                engine.access(nuclides, base, 96, AccessKind::Read);
-                engine.flops(12);
-            }
+            // interpolate (6 values each): one strided sweep through the
+            // per-isotope grids, issued through the bulk API.
+            engine.strided(
+                nuclides,
+                gridpoint * 48,
+                p.isotopes as u64,
+                96,
+                iso_stride,
+                AccessKind::Read,
+            );
+            engine.flops(p.isotopes as u64 * 12);
             // Accumulate macroscopic cross sections.
             engine.flops(p.isotopes as u64 * 6);
         }

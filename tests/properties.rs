@@ -10,8 +10,105 @@ fn access_script() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
     prop::collection::vec((0u64..64, 1u64..16_384, any::<bool>()), 1..40)
 }
 
+/// A mixed bulk-access script: per step `(op, page, len, count, flag)`.
+fn bulk_script() -> impl Strategy<Value = Vec<(u8, u64, u64, u64, bool)>> {
+    prop::collection::vec(
+        (0u8..6, 0u64..48, 1u64..16_384, 1u64..24, any::<bool>()),
+        1..24,
+    )
+}
+
+/// Replays one mixed script of bulk and scalar engine calls on a machine.
+///
+/// `big_cache` switches from the tiny test hierarchy (32 L2 sets) to the
+/// production `scaled_emulation` geometry (512 L2 sets, 2 MiB LLC) — the
+/// batched pipeline takes geometry-dependent shortcuts, so the equivalence
+/// guarantee must be exercised on both shapes.
+fn run_bulk_script(
+    script: &[(u8, u64, u64, u64, bool)],
+    batched: bool,
+    big_cache: bool,
+) -> dismem::sim::RunReport {
+    let mut config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+    if big_cache {
+        config.cache = dismem::sim::CacheParams::scaled_emulation();
+    }
+    let mut m = Machine::new(config);
+    m.set_batched_access(batched);
+    let obj_pages = 64u64;
+    let a = m.alloc("a", "prop", obj_pages * PAGE_SIZE);
+    let b = m.alloc_with_policy(
+        "b",
+        "prop",
+        obj_pages * PAGE_SIZE,
+        PlacementPolicy::ForceRemote,
+    );
+    let temp = m.alloc("temp", "prop", 8 * PAGE_SIZE);
+    m.phase_start("mixed");
+    m.touch(temp, 8 * PAGE_SIZE);
+    for (i, &(op, page, len, count, flag)) in script.iter().enumerate() {
+        let handle = if flag { a } else { b };
+        let kind = if page % 2 == 0 {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        };
+        let offset = page * PAGE_SIZE;
+        let len = len.min(obj_pages * PAGE_SIZE - offset);
+        match op {
+            0 => m.access_range(handle, offset, len, kind),
+            1 => {
+                // Scattered offsets spread pseudo-randomly over the object.
+                let offs: Vec<u64> = (0..count)
+                    .map(|k| {
+                        ((page + 3 * k + 7 * k * k) * 2048 + 8 * k) % (obj_pages * PAGE_SIZE - 8)
+                    })
+                    .collect();
+                m.gather(handle, &offs, 8);
+            }
+            2 => {
+                let offs: Vec<u64> = (0..count)
+                    .map(|k| {
+                        ((page + 5 * k + k * k) * 4096 + 16 * k) % (obj_pages * PAGE_SIZE - 16)
+                    })
+                    .collect();
+                m.scatter(handle, &offs, 8);
+            }
+            3 => {
+                let stride = 64 + (len % 1024);
+                let count = count.min((obj_pages * PAGE_SIZE - offset) / stride.max(1));
+                if count > 0 {
+                    m.strided(handle, offset, count, 8, stride, kind);
+                }
+            }
+            4 => m.flops(len * 1000),
+            _ => m.access(handle, offset, len.min(256), kind),
+        }
+        if i == script.len() / 2 {
+            // Free mid-script so freed-page reuse is exercised on both paths.
+            m.free(temp);
+        }
+    }
+    m.phase_end();
+    m.finish()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The batched line-walk fast path and the per-line reference pipeline
+    /// must produce bit-identical run reports — counters, per-phase
+    /// runtimes, timeline samples, placement and page histograms — for
+    /// arbitrary mixes of bulk-range, gather, scatter, strided and scalar
+    /// accesses.
+    #[test]
+    fn batched_execution_is_bit_identical_to_per_line(script in bulk_script()) {
+        for big_cache in [false, true] {
+            let batched = run_bulk_script(&script, true, big_cache);
+            let per_line = run_bulk_script(&script, false, big_cache);
+            prop_assert_eq!(batched, per_line);
+        }
+    }
 
     /// L2 fill conservation: every line filled into L2 is either a demand
     /// miss or a prefetch, for arbitrary access patterns.

@@ -1,39 +1,192 @@
-//! Offline stand-in for `rayon`.
+//! Offline multithreaded stand-in for `rayon`.
 //!
-//! `par_iter()` / `into_par_iter()` return the corresponding *sequential*
-//! iterators, so every adaptor (`map`, `collect`, `unzip`, …) is the std one
-//! and results are bit-identical to the parallel versions — the workspace
-//! only uses order-preserving, side-effect-free pipelines. Swap in the real
-//! rayon (same call sites) once the build environment has network access.
+//! Implements the small `par_iter()` / `into_par_iter()` surface the
+//! workspace uses with a real chunked thread pool: `collect()` splits the
+//! materialized items into one contiguous chunk per worker, runs the chunks
+//! on `std::thread::scope` threads, and reassembles the results in order —
+//! so outputs are bit-identical to the sequential pipeline while independent
+//! items (simulated machine runs, campaign trials, re-timing sweeps) execute
+//! concurrently.
+//!
+//! Worker count: `RAYON_NUM_THREADS` if set, else
+//! `available_parallelism().max(2)` (at least two workers so parallel
+//! execution is exercised even on single-core CI containers). Swap in the
+//! real rayon (same call sites) once the build environment has network
+//! access.
+
+use std::sync::OnceLock;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// `into_par_iter()` for owned collections and ranges; sequential fallback.
+/// Number of worker threads used by [`ParMap::collect`].
+///
+/// Honors `RAYON_NUM_THREADS` (like the real rayon); defaults to the
+/// machine's available parallelism, with a floor of two workers.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .max(2)
+            })
+    })
+}
+
+/// A materialized parallel iterator: the items to fan out over the pool.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParIter<T> {
+    /// Maps every item through `f`; work happens at `collect()`.
+    pub fn map<R, F: Fn(T) -> R>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, executed and gathered by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Runs the map over the thread pool and gathers the results in input
+    /// order. Panics in worker closures are propagated to the caller.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            return self.items.into_iter().map(&self.f).collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let f = &self.f;
+        let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(results) => results,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
 
-/// `par_iter()` for `&self` iteration over slices and collections;
-/// sequential fallback.
+/// `par_iter()` for `&self` iteration over slices and collections.
 pub trait IntoParallelRefIterator<'data> {
-    type Iter: Iterator;
+    type Item;
 
-    fn par_iter(&'data self) -> Self::Iter;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
 impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
 where
     &'data C: IntoIterator,
 {
-    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1, 2, 3, 4, 5];
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn work_runs_on_multiple_threads() {
+        assert!(current_num_threads() >= 2, "pool must have >= 2 workers");
+        let ids: HashSet<String> = (0..64)
+            .into_par_iter()
+            .map(|_| format!("{:?}", std::thread::current().id()))
+            .collect();
+        assert!(
+            ids.len() > 1,
+            "64 items across >=2 workers must use more than one thread"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let _: Vec<()> = (0..8)
+            .into_par_iter()
+            .map(|i| {
+                if i == 3 {
+                    panic!("worker boom");
+                }
+            })
+            .collect();
     }
 }
