@@ -40,6 +40,26 @@ pub struct DramEvent {
 pub trait DramSink {
     /// Accepts one DRAM transaction.
     fn event(&mut self, line_addr: u64, kind: DramEventKind);
+
+    /// Accepts `count` DRAM transactions of `kind` against cache lines in the
+    /// page containing `line_addr` (the replay engine aggregates a window's
+    /// transactions per page before handing them over). The default expands
+    /// to `count` single events at `line_addr`, which is only page-exact —
+    /// sinks that return `true` from [`DramSink::supports_replay`] must
+    /// override this with genuinely page-granular accounting.
+    fn bulk_event(&mut self, line_addr: u64, kind: DramEventKind, count: u64) {
+        for _ in 0..count {
+            self.event(line_addr, kind);
+        }
+    }
+
+    /// Whether this sink accounts DRAM traffic at page granularity, so that
+    /// [`DramSink::bulk_event`] is exactly equivalent to the individual
+    /// events it aggregates. Only then may the cache engage the steady-state
+    /// replay engine; the default (`false`) keeps replay off.
+    fn supports_replay(&self) -> bool {
+        false
+    }
 }
 
 impl DramSink for Vec<DramEvent> {
@@ -49,7 +69,7 @@ impl DramSink for Vec<DramEvent> {
 }
 
 /// Kind of DRAM transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramEventKind {
     /// Line fill triggered by a demand miss: its latency is exposed to the
     /// core (up to the available memory-level parallelism).
@@ -60,26 +80,26 @@ pub enum DramEventKind {
     Writeback,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct CacheLine {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    prefetched: bool,
-    used: bool,
-    stamp: u64,
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CacheLine {
+    pub(crate) tag: u64,
+    pub(crate) valid: bool,
+    pub(crate) dirty: bool,
+    pub(crate) prefetched: bool,
+    pub(crate) used: bool,
+    pub(crate) stamp: u64,
 }
 
 #[derive(Debug, Clone)]
-struct SetAssocCache {
+pub(crate) struct SetAssocCache {
     sets: usize,
     ways: usize,
     /// `sets - 1` when `sets` is a power of two: the batched fast path masks
     /// instead of dividing (`None` falls back to the modulo used by the
     /// per-line reference path — both compute the same set index).
     set_mask: Option<usize>,
-    lines: Vec<CacheLine>,
-    clock: u64,
+    pub(crate) lines: Vec<CacheLine>,
+    pub(crate) clock: u64,
 }
 
 struct Evicted {
@@ -182,6 +202,39 @@ impl SetAssocCache {
         FillOutcome::Inserted(evicted)
     }
 
+    /// Number of sets.
+    pub(crate) fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways per set.
+    pub(crate) fn way_count(&self) -> usize {
+        self.ways
+    }
+
+    /// Overwrites the full cache state from a snapshot of `lines` and
+    /// `clock`, with every valid line's tag shifted forward by `tag_shift`
+    /// lines and every timestamp (and the clock) by `clock_shift` ticks —
+    /// the state the cache would hold had it walked the shifted traffic
+    /// exactly. Invalid slots keep their canonical default contents.
+    pub(crate) fn restore_shifted(
+        &mut self,
+        snap_lines: &[CacheLine],
+        snap_clock: u64,
+        tag_shift: u64,
+        clock_shift: u64,
+    ) {
+        debug_assert_eq!(snap_lines.len(), self.lines.len());
+        self.clock = snap_clock + clock_shift;
+        for (slot, snap) in self.lines.iter_mut().zip(snap_lines) {
+            *slot = *snap;
+            if snap.valid {
+                slot.tag = snap.tag + tag_shift;
+                slot.stamp = snap.stamp + clock_shift;
+            }
+        }
+    }
+
     /// Looks up a line; on hit, refreshes LRU and returns a mutable reference.
     fn lookup(&mut self, line_addr: u64) -> Option<&mut CacheLine> {
         self.clock += 1;
@@ -250,26 +303,33 @@ impl SetAssocCache {
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     params: CacheParams,
-    l2: SetAssocCache,
-    llc: SetAssocCache,
-    prefetcher: StreamPrefetcher,
+    pub(crate) l2: SetAssocCache,
+    pub(crate) llc: SetAssocCache,
+    pub(crate) prefetcher: StreamPrefetcher,
     prefetch_buf: Vec<u64>,
     /// Memoized prefetcher stream-entry index for the batched path; carried
     /// across calls (it is validated against the accessed page before use,
     /// so staleness only costs a rescan).
-    stream_hint: usize,
+    pub(crate) stream_hint: usize,
+    /// Steady-state page-replay engine (see `crate::replay`).
+    pub(crate) replay: crate::replay::ReplayEngine,
 }
 
 impl CacheSim {
     /// Creates the hierarchy from cache and prefetch parameters.
     pub fn new(params: CacheParams, prefetcher: StreamPrefetcher) -> Self {
+        let l2 = SetAssocCache::new(params.l2_sets(), params.l2_ways as usize);
+        let llc = SetAssocCache::new(params.llc_sets(), params.llc_ways as usize);
+        let replay =
+            crate::replay::ReplayEngine::new(l2.set_count() as u64, llc.set_count() as u64);
         Self {
-            l2: SetAssocCache::new(params.l2_sets(), params.l2_ways as usize),
-            llc: SetAssocCache::new(params.llc_sets(), params.llc_ways as usize),
+            l2,
+            llc,
             prefetcher,
             params,
             prefetch_buf: Vec::with_capacity(8),
             stream_hint: usize::MAX,
+            replay,
         }
     }
 
@@ -280,7 +340,35 @@ impl CacheSim {
 
     /// Enables or disables the hardware prefetcher.
     pub fn set_prefetch_enabled(&mut self, enabled: bool) {
+        // Prefetcher behaviour is part of the replayed fingerprint; leave
+        // replay and discard detection state before changing it.
+        self.replay_hard_reset();
         self.prefetcher.set_enabled(enabled);
+    }
+
+    /// Enables or disables the steady-state page-replay engine (enabled by
+    /// default). Disabling mid-run first materializes any in-flight replay so
+    /// the cache state stays exact.
+    pub fn set_replay_enabled(&mut self, enabled: bool) {
+        self.replay_hard_reset();
+        self.replay.set_enabled(enabled);
+    }
+
+    /// Whether the steady-state page-replay engine is enabled.
+    pub fn replay_enabled(&self) -> bool {
+        self.replay.enabled
+    }
+
+    /// Total number of whole windows applied by the replay engine so far
+    /// (each window covers `CacheSim::replay_window_pages` pages). Zero means
+    /// replay never engaged.
+    pub fn replay_windows(&self) -> u64 {
+        self.replay.windows_replayed_total
+    }
+
+    /// Pages per replay window for this cache geometry.
+    pub fn replay_window_pages(&self) -> u64 {
+        self.replay.window_pages
     }
 
     /// Whether the hardware prefetcher is enabled.
@@ -299,6 +387,11 @@ impl CacheSim {
         counters: &mut Counters,
         dram_events: &mut Vec<DramEvent>,
     ) {
+        // Traffic outside `demand_access_range` invalidates the replay
+        // detector's view of the cache state (single cheap branch when idle).
+        if self.replay.is_active() {
+            self.replay_hard_reset();
+        }
         if is_write {
             counters.demand_write_lines += 1;
         } else {
@@ -344,11 +437,36 @@ impl CacheSim {
     /// lines starting at `first_line`, in ascending order.
     ///
     /// Bit-identical to calling [`CacheSim::demand_access`] once per line,
-    /// but the per-line overheads are hoisted out of the loop: the prefetch
-    /// scratch buffer is borrowed once for the whole run and the prefetcher's
-    /// stream-entry scan is replaced by a memoized entry index that only
-    /// falls back to scanning when the 4 KiB page changes.
+    /// but the per-line overheads are hoisted out of the loop, and — for
+    /// page-granular sinks ([`DramSink::supports_replay`]) — long sequential
+    /// streams are handed to the steady-state page-replay engine, which skips
+    /// the set scans entirely for whole pages whose behaviour it has proven
+    /// periodic (see `crate::replay`).
     pub fn demand_access_range<S: DramSink>(
+        &mut self,
+        first_line: u64,
+        line_count: u64,
+        is_write: bool,
+        counters: &mut Counters,
+        sink: &mut S,
+    ) {
+        if line_count == 0 {
+            return;
+        }
+        if self.replay.enabled && sink.supports_replay() {
+            self.walk_with_replay(first_line, line_count, is_write, counters, sink);
+        } else {
+            if self.replay.is_active() {
+                self.replay_hard_reset();
+            }
+            self.walk_lines_exact(first_line, line_count, is_write, counters, sink);
+        }
+    }
+
+    /// The exact batched line walk: one combined set scan per fill, memoized
+    /// prefetcher stream entry, every DRAM transaction handed to the sink in
+    /// order. This is the reference the replay engine fingerprints.
+    pub(crate) fn walk_lines_exact<S: DramSink>(
         &mut self,
         first_line: u64,
         line_count: u64,
@@ -521,6 +639,9 @@ impl CacheSim {
         self.l2 = SetAssocCache::new(self.params.l2_sets(), self.params.l2_ways as usize);
         self.llc = SetAssocCache::new(self.params.llc_sets(), self.params.llc_ways as usize);
         self.prefetcher.reset();
+        // The cache state replay would materialize is being discarded anyway.
+        self.replay.discard_for_reset();
+        self.stream_hint = usize::MAX;
     }
 }
 

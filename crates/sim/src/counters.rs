@@ -67,6 +67,30 @@ impl Counters {
         self.link_raw_bytes += other.link_raw_bytes;
     }
 
+    /// Field-wise difference `self - earlier`. Every counter is monotonically
+    /// non-decreasing over a run, so the subtraction never underflows when
+    /// `earlier` is a snapshot taken before `self`; the replay engine uses
+    /// this to fingerprint per-window counter deltas.
+    pub fn delta_from(&self, earlier: &Counters) -> Counters {
+        Counters {
+            flops: self.flops - earlier.flops,
+            demand_read_lines: self.demand_read_lines - earlier.demand_read_lines,
+            demand_write_lines: self.demand_write_lines - earlier.demand_write_lines,
+            l2_demand_misses: self.l2_demand_misses - earlier.l2_demand_misses,
+            l2_lines_in: self.l2_lines_in - earlier.l2_lines_in,
+            pf_issued: self.pf_issued - earlier.pf_issued,
+            pf_useful: self.pf_useful - earlier.pf_useful,
+            useless_hwpf: self.useless_hwpf - earlier.useless_hwpf,
+            dram_lines_local: self.dram_lines_local - earlier.dram_lines_local,
+            dram_lines_pool: self.dram_lines_pool - earlier.dram_lines_pool,
+            demand_dram_lines_local: self.demand_dram_lines_local - earlier.demand_dram_lines_local,
+            demand_dram_lines_pool: self.demand_dram_lines_pool - earlier.demand_dram_lines_pool,
+            writeback_lines_local: self.writeback_lines_local - earlier.writeback_lines_local,
+            writeback_lines_pool: self.writeback_lines_pool - earlier.writeback_lines_pool,
+            link_raw_bytes: self.link_raw_bytes - earlier.link_raw_bytes,
+        }
+    }
+
     /// Total demand cache-line references.
     pub fn demand_lines(&self) -> u64 {
         self.demand_read_lines + self.demand_write_lines

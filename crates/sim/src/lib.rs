@@ -29,6 +29,7 @@ pub mod interference;
 pub mod link;
 pub mod machine;
 pub mod prefetch;
+pub(crate) mod replay;
 pub mod report;
 pub mod timing;
 

@@ -56,30 +56,38 @@ impl DramTally {
     /// element/walk — u64 additions commute, so totals agree bit for bit.
     #[inline]
     fn tally(&mut self, tier: Tier, kind: DramEventKind) {
+        self.tally_n(tier, kind, 1);
+    }
+
+    /// Aggregated form of [`DramTally::tally`]: `n` transactions of the same
+    /// kind against the same tier (multiplication distributes over the u64
+    /// additions, so this equals `n` single tallies bit for bit).
+    #[inline]
+    fn tally_n(&mut self, tier: Tier, kind: DramEventKind, n: u64) {
         match (tier, kind) {
             (Tier::Local, DramEventKind::DemandFill) => {
-                self.dram_lines_local += 1;
-                self.demand_dram_lines_local += 1;
+                self.dram_lines_local += n;
+                self.demand_dram_lines_local += n;
             }
             (Tier::Local, DramEventKind::PrefetchFill) => {
-                self.dram_lines_local += 1;
+                self.dram_lines_local += n;
             }
             (Tier::Local, DramEventKind::Writeback) => {
-                self.writeback_lines_local += 1;
+                self.writeback_lines_local += n;
             }
             (Tier::Pool, DramEventKind::DemandFill) => {
-                self.dram_lines_pool += 1;
-                self.demand_dram_lines_pool += 1;
+                self.dram_lines_pool += n;
+                self.demand_dram_lines_pool += n;
             }
             (Tier::Pool, DramEventKind::PrefetchFill) => {
-                self.dram_lines_pool += 1;
+                self.dram_lines_pool += n;
             }
             (Tier::Pool, DramEventKind::Writeback) => {
-                self.writeback_lines_pool += 1;
+                self.writeback_lines_pool += n;
             }
         }
         if tier == Tier::Pool {
-            self.pool_link_lines += 1;
+            self.pool_link_lines += n;
         }
     }
 
@@ -169,6 +177,24 @@ impl DramSink for TallySink<'_> {
         memo.pending += 1;
         let tier = memo.tier;
         self.tally.tally(tier, kind);
+    }
+
+    #[inline]
+    fn bulk_event(&mut self, line_addr: u64, kind: DramEventKind, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let slot = self.slot_for(line_addr);
+        let memo = &mut self.memo[slot];
+        memo.pending += count;
+        let tier = memo.tier;
+        self.tally.tally_n(tier, kind, count);
+    }
+
+    /// All accounting (tier resolution, per-object traffic, histogram) is
+    /// page-granular, so aggregated per-page events are exact.
+    fn supports_replay(&self) -> bool {
+        true
     }
 }
 
@@ -261,6 +287,34 @@ impl Machine {
     /// Whether the batched line-walk fast path is enabled.
     pub fn batched_access(&self) -> bool {
         self.batched
+    }
+
+    /// Enables or disables the steady-state page-replay engine (enabled by
+    /// default; only active on the batched pipeline). With replay on, long
+    /// sequential streams whose per-page cache behaviour has been proven
+    /// periodic are applied in closed form instead of walked line by line;
+    /// reports stay bit-identical either way (guaranteed by the workspace
+    /// property tests). Disabling mid-run is safe: any in-flight replay is
+    /// materialized to the exact cache state first.
+    pub fn set_replay(&mut self, enabled: bool) {
+        self.cache.set_replay_enabled(enabled);
+    }
+
+    /// Whether the steady-state page-replay engine is enabled.
+    pub fn replay_enabled(&self) -> bool {
+        self.cache.replay_enabled()
+    }
+
+    /// Number of whole windows the replay engine has applied so far (each
+    /// window is [`Machine::replay_window_pages`] pages). Zero means every
+    /// access was simulated exactly.
+    pub fn replay_windows(&self) -> u64 {
+        self.cache.replay_windows()
+    }
+
+    /// Pages per replay window for this machine's cache geometry.
+    pub fn replay_window_pages(&self) -> u64 {
+        self.cache.replay_window_pages()
     }
 
     /// Current simulated time in seconds.
@@ -399,9 +453,24 @@ impl Machine {
     }
 
     /// Batched scattered-element walk shared by `gather_batch` and
-    /// `strided_batch`: element line-runs stream through one tally sink;
-    /// chunk-close decisions are evaluated at the same element boundaries as
-    /// the per-element reference path.
+    /// `strided_batch`: element line-runs stream through one tally sink, and
+    /// *contiguous* consecutive elements (the next element's first line
+    /// exactly follows the previous element's last — dense sub-line strided
+    /// sweeps, multi-line elements laid out back to back, and sorted
+    /// gathers at the points where they cross a line boundary) are merged
+    /// into a single cache walk so repeated-page traffic hits the page
+    /// memos and the replay detector sees whole runs instead of
+    /// per-element fragments. Consecutive elements that *share* a line
+    /// (e.g. 8-byte gathers of neighbouring slots) deliberately do not
+    /// merge: each is a separate demand reference, and dropping the repeat
+    /// would break bit-identity with the per-element reference path.
+    ///
+    /// Chunk-close decisions stay identical to the per-element reference
+    /// path: a merge is only allowed while the worst-case DRAM traffic of
+    /// the merged lines cannot reach the chunk threshold, which proves every
+    /// skipped intermediate `chunk_full` check would have returned false
+    /// (flops do not change inside the walk, and the byte counters are
+    /// monotone).
     fn walk_elements_batched(
         &mut self,
         handle: ObjectHandle,
@@ -412,7 +481,31 @@ impl Machine {
         let object_bytes = self.space.object_bytes(handle);
         let base = self.space.base_addr(handle);
         let is_write = kind.is_write();
+        // Worst-case DRAM bytes one demand line can produce: its fill, a
+        // dirty LLC victim writeback from that fill, and a second writeback
+        // when its dirty L2 victim misses the LLC and evicts another dirty
+        // line there — three transactions, and the same triple for each of
+        // up to `degree` prefetches it can trigger.
+        let worst_bytes_per_line =
+            3 * (1 + self.config.prefetch.degree as u64) * self.config.cache.line_bytes;
+        let line_bytes = self.config.cache.line_bytes;
+
         let mut sink = TallySink::new(&mut self.space);
+        // The contiguous run being accumulated, plus how many more lines may
+        // be merged into it before a chunk_full check must be taken.
+        let mut run: Option<(u64, u64)> = None;
+        let mut merge_budget_lines = 0u64;
+        // Strictly below the threshold: `chunk_full` fires at >=, so the
+        // merged traffic must not be able to even *reach* `chunk_bytes` at a
+        // skipped intermediate element.
+        let fresh_budget = |chunk: &Counters, config: &MachineConfig| {
+            config
+                .chunk_bytes
+                .saturating_sub(chunk.bytes_dram(line_bytes))
+                .saturating_sub(1)
+                / worst_bytes_per_line.max(1)
+        };
+
         for offset in offsets {
             debug_assert!(
                 offset + elem_bytes <= object_bytes.max(dismem_trace::PAGE_SIZE),
@@ -421,27 +514,48 @@ impl Machine {
             let addr = base + offset;
             let first_line = addr / CACHE_LINE_SIZE;
             let last_line = (addr + elem_bytes - 1) / CACHE_LINE_SIZE;
+            let lines = last_line - first_line + 1;
+
+            if let Some((_, run_last)) = run {
+                if first_line == run_last + 1 && lines <= merge_budget_lines {
+                    run = run.map(|(f, _)| (f, last_line));
+                    merge_budget_lines -= lines;
+                    continue;
+                }
+            }
+
+            // Flush the pending run, then take the chunk_full decision the
+            // reference path would have taken at this element boundary.
+            if let Some((run_first, run_last)) = run.take() {
+                self.cache.demand_access_range(
+                    run_first,
+                    run_last - run_first + 1,
+                    is_write,
+                    &mut self.chunk,
+                    &mut sink,
+                );
+                sink.tally
+                    .fold_into(&mut self.chunk, &mut self.chunk_pool_link_lines);
+                if Self::chunk_full(&self.config, &self.chunk) {
+                    // The sink's borrow of `self.space` ends with this flush
+                    // (its last use), freeing `self` for the chunk close.
+                    sink.flush();
+                    self.close_chunk();
+                    sink = TallySink::new(&mut self.space);
+                }
+            }
+            merge_budget_lines = fresh_budget(&self.chunk, &self.config).saturating_sub(lines);
+            run = Some((first_line, last_line));
+        }
+
+        if let Some((run_first, run_last)) = run {
             self.cache.demand_access_range(
-                first_line,
-                last_line - first_line + 1,
+                run_first,
+                run_last - run_first + 1,
                 is_write,
                 &mut self.chunk,
                 &mut sink,
             );
-            // The per-element reference path calls `maybe_close_chunk` after
-            // every element. Fold this element's DRAM traffic into the chunk
-            // and take the identical decision; chunk closes are rare (once
-            // per `chunk_bytes` of traffic), so releasing and re-creating
-            // the sink around them costs nothing.
-            sink.tally
-                .fold_into(&mut self.chunk, &mut self.chunk_pool_link_lines);
-            if Self::chunk_full(&self.config, &self.chunk) {
-                // The sink's borrow of `self.space` ends with this flush
-                // (its last use), freeing `self` for the chunk close.
-                sink.flush();
-                self.close_chunk();
-                sink = TallySink::new(&mut self.space);
-            }
         }
         sink.flush();
         let mut tally = sink.tally;
@@ -801,6 +915,33 @@ mod tests {
             let per_line = run(false, big_cache);
             assert_eq!(batched, per_line);
         }
+    }
+
+    #[test]
+    fn replay_engages_on_long_streams_and_stays_bit_identical() {
+        let run = |batched: bool, replay: bool| {
+            let mut config = MachineConfig::test_config().with_local_capacity(700 * PAGE_SIZE);
+            config.cache = crate::config::CacheParams::scaled_emulation();
+            let mut m = Machine::new(config);
+            m.set_batched_access(batched);
+            m.set_replay(replay);
+            let bytes = 4 << 20; // 1024 pages: crosses the local→pool boundary
+            let a = m.alloc("stream", "t", bytes);
+            m.phase_start("p");
+            m.touch(a, bytes);
+            m.read(a, 0, bytes);
+            m.read(a, 0, bytes);
+            m.phase_end();
+            let windows = m.replay_windows();
+            (m.finish(), windows)
+        };
+        let (with_replay, windows) = run(true, true);
+        let (without_replay, no_windows) = run(true, false);
+        let (per_line, _) = run(false, false);
+        assert!(windows > 0, "replay must engage on a 1024-page warm stream");
+        assert_eq!(no_windows, 0);
+        assert_eq!(with_replay, without_replay);
+        assert_eq!(with_replay, per_line);
     }
 
     #[test]

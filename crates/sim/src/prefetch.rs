@@ -12,30 +12,42 @@ use dismem_trace::{CACHE_LINE_SIZE, PAGE_SIZE};
 /// Cache lines per page.
 const LINES_PER_PAGE: u64 = PAGE_SIZE / CACHE_LINE_SIZE;
 
-#[derive(Debug, Clone, Copy)]
-struct StreamEntry {
-    page: u64,
-    last_line: u64,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StreamEntry {
+    pub(crate) page: u64,
+    pub(crate) last_line: u64,
     /// Consecutive sequential hits observed.
-    run: u32,
+    pub(crate) run: u32,
     /// LRU timestamp.
-    stamp: u64,
-    valid: bool,
+    pub(crate) stamp: u64,
+    pub(crate) valid: bool,
+}
+
+/// Frozen copy of the prefetcher state taken by the replay engine at a
+/// window boundary (see `crate::replay`).
+#[derive(Debug, Clone)]
+pub(crate) struct PrefetcherSnapshot {
+    pub(crate) entries: Vec<StreamEntry>,
+    pub(crate) clock: u64,
+    /// Captured for the replay feedback gate; the useful counter is not
+    /// frozen because replay advances it live, in closed form.
+    pub(crate) feedback_useless: u64,
+    pub(crate) enabled: bool,
 }
 
 /// Stream prefetcher state.
 #[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
     params: PrefetchParams,
-    entries: Vec<StreamEntry>,
-    clock: u64,
+    pub(crate) entries: Vec<StreamEntry>,
+    pub(crate) clock: u64,
     /// Accuracy-feedback counters (decayed periodically): prefetched lines
     /// that were eventually used vs evicted unused. Real prefetchers throttle
     /// themselves when accuracy is poor — the behaviour the paper observes in
     /// XSBench ("prefetching is automatically adapted to a low level when
     /// accuracy is low").
-    feedback_useful: u64,
-    feedback_useless: u64,
+    pub(crate) feedback_useful: u64,
+    pub(crate) feedback_useless: u64,
 }
 
 /// Minimum number of feedback samples before throttling decisions are made.
@@ -101,6 +113,11 @@ impl StreamPrefetcher {
         self.params.enabled
     }
 
+    /// Maximum number of concurrently tracked streams.
+    pub fn max_streams(&self) -> usize {
+        self.params.max_streams
+    }
+
     /// Enables or disables prefetch generation (stream training continues).
     pub fn set_enabled(&mut self, enabled: bool) {
         self.params.enabled = enabled;
@@ -112,6 +129,58 @@ impl StreamPrefetcher {
         self.clock = 0;
         self.feedback_useful = 0;
         self.feedback_useless = 0;
+    }
+
+    /// Takes a frozen copy of the full prefetcher state.
+    pub(crate) fn snapshot(&self) -> PrefetcherSnapshot {
+        PrefetcherSnapshot {
+            entries: self.entries.clone(),
+            clock: self.clock,
+            feedback_useless: self.feedback_useless,
+            enabled: self.params.enabled,
+        }
+    }
+
+    /// Restores stream entries and the clock from a snapshot, shifted forward
+    /// by `page_shift` pages and `clock_shift` clock ticks — the state the
+    /// prefetcher would have reached had it tracked the stream exactly.
+    ///
+    /// The accuracy-feedback counters are *not* restored: they are advanced
+    /// live during replay by [`StreamPrefetcher::advance_useful`].
+    pub(crate) fn restore_shifted(
+        &mut self,
+        snap: &PrefetcherSnapshot,
+        page_shift: u64,
+        clock_shift: u64,
+    ) {
+        self.clock = snap.clock + clock_shift;
+        self.entries.clear();
+        self.entries.extend(snap.entries.iter().map(|e| {
+            let mut e = *e;
+            if e.valid {
+                e.page += page_shift;
+                e.stamp += clock_shift;
+            }
+            e
+        }));
+    }
+
+    /// Advances the feedback state exactly as `n` consecutive
+    /// [`StreamPrefetcher::feedback`]`(true)` calls would, in closed form.
+    /// Only valid while `feedback_useless == 0` (the replay invariant): the
+    /// decay then reduces to halving the useful counter whenever it crosses
+    /// the decay threshold.
+    pub(crate) fn advance_useful(&mut self, mut n: u64) {
+        debug_assert!(n == 0 || self.feedback_useless == 0);
+        while n > 0 {
+            let to_decay = (FEEDBACK_DECAY_AT + 1).saturating_sub(self.feedback_useful);
+            if n < to_decay {
+                self.feedback_useful += n;
+                break;
+            }
+            n -= to_decay;
+            self.feedback_useful = FEEDBACK_DECAY_AT.div_ceil(2);
+        }
     }
 
     /// Observes a demand access to cache line `line_addr` and appends the
@@ -341,6 +410,42 @@ mod tests {
         assert_eq!(p.observed_accuracy(), 1.0);
         p.reset();
         assert_eq!(p.observed_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn advance_useful_matches_repeated_feedback() {
+        for start in [0u64, 1, 100, 4095, 4096, 8191, 8192] {
+            for n in [0u64, 1, 5, 4096, 8192, 8193, 20_000] {
+                let mut a = pf();
+                a.feedback_useful = start;
+                let mut b = a.clone();
+                for _ in 0..n {
+                    a.feedback(true);
+                }
+                b.advance_useful(n);
+                assert_eq!(
+                    (a.feedback_useful, a.feedback_useless),
+                    (b.feedback_useful, b.feedback_useless),
+                    "start={start}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_shifted_moves_entries() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.observe(100, &mut out);
+        p.observe(101, &mut out);
+        let snap = p.snapshot();
+        assert!(snap.enabled);
+        let mut q = pf();
+        q.restore_shifted(&snap, 10, 1000);
+        // The restored entry tracks the original page shifted by 10 pages.
+        let e = q.entries.iter().find(|e| e.valid).unwrap();
+        assert_eq!(e.page, 100 / 64 + 10);
+        assert_eq!(q.clock, snap.clock + 1000);
     }
 
     #[test]

@@ -55,6 +55,17 @@ pub trait MemoryEngine {
     // runs in a single call, drains DRAM events once per batch and memoizes
     // page lookups). Overrides must be observationally identical to the
     // defaults — the workspace property tests compare both paths bit for bit.
+    //
+    // Run geometry matters for backend fast paths: the simulator's
+    // steady-state replay engine detects long sequential streams, and it
+    // sees *whole runs* most cheaply when a workload expresses one logical
+    // stream as one `access_range` call (or as back-to-back calls whose
+    // ranges are exactly contiguous and of the same access kind — the
+    // detector's streak tracking survives call boundaries, so chunked
+    // streams still engage). Prefer one bulk call per logical run over
+    // per-element `access` loops; for scattered elements, prefer
+    // `gather_batch`/`strided_batch`, whose contiguous consecutive elements
+    // the simulator merges back into runs.
 
     /// Bulk contiguous access: identical to [`MemoryEngine::access`], but
     /// explicitly marks the range as one batch for backends with a bulk fast

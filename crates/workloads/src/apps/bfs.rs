@@ -224,6 +224,8 @@ impl Bfs {
                 let mut appended: u64 = 0;
 
                 let mut parent_reads: Vec<u64> = Vec::new();
+                let mut parent_writes: Vec<u64> = Vec::new();
+                let mut frontier_appends: Vec<u64> = Vec::new();
                 for &u in &frontier {
                     let u = u as usize;
                     // Read the two offsets bounding u's adjacency list.
@@ -243,22 +245,23 @@ impl Bfs {
                     parent_reads.clear();
                     parent_reads.extend(neighbours.iter().map(|&v| v as u64 * 8));
                     engine.gather(parents, &parent_reads, 8);
+                    // Claim the undiscovered neighbours: one bulk scatter
+                    // into Parents and one (sequential) scatter appending to
+                    // the dynamically allocated next frontier.
+                    parent_writes.clear();
+                    frontier_appends.clear();
                     for &v in neighbours {
                         let v = v as usize;
                         if parents_data[v] == u32::MAX {
                             parents_data[v] = u as u32;
-                            engine.access(parents, v as u64 * 8, 8, AccessKind::Write);
-                            // Append to the dynamically allocated next frontier.
-                            engine.access(
-                                next_frontier_obj,
-                                (appended * 8).min(next_capacity_bytes - 8),
-                                8,
-                                AccessKind::Write,
-                            );
+                            parent_writes.push(v as u64 * 8);
+                            frontier_appends.push((appended * 8).min(next_capacity_bytes - 8));
                             appended += 1;
                             next.push(v as u32);
                         }
                     }
+                    engine.scatter(parents, &parent_writes, 8);
+                    engine.scatter(next_frontier_obj, &frontier_appends, 8);
                     engine.flops(neighbours.len() as u64);
                 }
 

@@ -60,6 +60,49 @@ impl Hpl {
     }
 }
 
+/// Bytes per read-then-write tile of a blocked sweep: small enough to stay
+/// resident in the scaled-emulation LLC (2 MiB), so the write sweep of a
+/// tile hits the lines its read sweep filled.
+const TILE_BYTES: u64 = 256 * 1024;
+
+impl Hpl {
+    /// Reads then writes `rows` rows of `row_bytes` each, `stride_bytes`
+    /// apart, in cache-resident tiles (the access shape of a blocked
+    /// in-place update such as dgemm on the trailing matrix).
+    fn tiled_read_write_sweep(
+        engine: &mut dyn MemoryEngine,
+        a: dismem_trace::ObjectHandle,
+        offset: u64,
+        rows: u64,
+        row_bytes: u64,
+        stride_bytes: u64,
+    ) {
+        let tile_rows = (TILE_BYTES / row_bytes.max(1)).max(1);
+        let mut row = 0u64;
+        while row < rows {
+            let tile = tile_rows.min(rows - row);
+            let tile_offset = offset + row * stride_bytes;
+            engine.strided(
+                a,
+                tile_offset,
+                tile,
+                row_bytes,
+                stride_bytes,
+                AccessKind::Read,
+            );
+            engine.strided(
+                a,
+                tile_offset,
+                tile,
+                row_bytes,
+                stride_bytes,
+                AccessKind::Write,
+            );
+            row += tile;
+        }
+    }
+}
+
 impl Workload for Hpl {
     fn name(&self) -> &'static str {
         "HPL"
@@ -100,13 +143,22 @@ impl Workload for Hpl {
             let col0 = k * nb;
             let trailing = n - col0;
 
-            // Panel factorization: read/write the panel column block
-            // (rows col0..n, columns col0..col0+nb), row by row.
-            for row in col0..n {
-                let offset = (row * n + col0) as u64 * 8;
-                engine.access(a, offset, (nb * 8) as u64, AccessKind::Read);
-                engine.access(a, offset, (nb * 8) as u64, AccessKind::Write);
-            }
+            // Panel factorization: read then update the panel column block
+            // (rows col0..n, columns col0..col0+nb), as strided sweeps over
+            // cache-resident row tiles — HPL's blocked factorization keeps
+            // its working set in cache, so the write sweep of a tile hits
+            // the lines its read sweep just filled (same fills per row as
+            // the row-interleaved model), while the bulk API sees whole
+            // row-run sweeps instead of per-row calls.
+            let panel_offset = (col0 * n + col0) as u64 * 8;
+            Self::tiled_read_write_sweep(
+                engine,
+                a,
+                panel_offset,
+                trailing as u64,
+                (nb * 8) as u64,
+                (n * 8) as u64,
+            );
             // Pivot search bookkeeping.
             engine.access(piv, (col0 * 8) as u64, (nb * 8) as u64, AccessKind::Write);
             engine.flops((nb * nb * trailing) as u64);
@@ -118,21 +170,29 @@ impl Workload for Hpl {
 
             // Row swap + triangular solve of the U block row
             // (rows col0..col0+nb, columns col0+nb..n).
-            for row in col0..col0 + nb {
-                let offset = (row * n + col0 + nb) as u64 * 8;
-                engine.access(a, offset, (rest * 8) as u64, AccessKind::Read);
-                engine.access(a, offset, (rest * 8) as u64, AccessKind::Write);
-            }
+            let ublock_offset = (col0 * n + col0 + nb) as u64 * 8;
+            Self::tiled_read_write_sweep(
+                engine,
+                a,
+                ublock_offset,
+                nb as u64,
+                (rest * 8) as u64,
+                (n * 8) as u64,
+            );
             engine.flops((nb * nb * rest) as u64);
 
             // Trailing matrix update: C -= L_panel * U_block. Each trailing
             // row is read and written once per step; the panel block is
             // cache-resident and re-read implicitly.
-            for row in col0 + nb..n {
-                let offset = (row * n + col0 + nb) as u64 * 8;
-                engine.access(a, offset, (rest * 8) as u64, AccessKind::Read);
-                engine.access(a, offset, (rest * 8) as u64, AccessKind::Write);
-            }
+            let trailing_offset = ((col0 + nb) * n + col0 + nb) as u64 * 8;
+            Self::tiled_read_write_sweep(
+                engine,
+                a,
+                trailing_offset,
+                rest as u64,
+                (rest * 8) as u64,
+                (n * 8) as u64,
+            );
             engine.flops((2 * nb * rest * rest) as u64);
         }
         engine.phase_end();

@@ -109,21 +109,19 @@ impl Workload for Hypre {
             let (src, dst) = if sweep % 2 == 0 { (x, tmp) } else { (tmp, x) };
             for plane in 0..n {
                 let offset = plane as u64 * plane_bytes;
-                // Read the three planes of the source vector involved in the
-                // stencil (previous, current, next) — the previous/next planes
-                // are usually still in cache from the streaming pattern.
-                if plane > 0 {
-                    engine.access(src, offset - plane_bytes, plane_bytes, AccessKind::Read);
-                }
-                engine.access(src, offset, plane_bytes, AccessKind::Read);
-                if plane + 1 < n {
-                    engine.access(src, offset + plane_bytes, plane_bytes, AccessKind::Read);
-                }
+                // Read the planes of the source vector involved in the
+                // stencil (previous, current, next): they are contiguous in
+                // memory, so the whole stencil input is one bulk range — the
+                // previous/next planes are usually still in cache from the
+                // streaming pattern.
+                let first = offset.saturating_sub(plane_bytes);
+                let last = (offset + 2 * plane_bytes).min(n as u64 * plane_bytes);
+                engine.access_range(src, first, last - first, AccessKind::Read);
                 // Coefficients and right-hand side for the current plane.
-                engine.access(coeff, offset, plane_bytes, AccessKind::Read);
-                engine.access(rhs, offset, plane_bytes, AccessKind::Read);
+                engine.access_range(coeff, offset, plane_bytes, AccessKind::Read);
+                engine.access_range(rhs, offset, plane_bytes, AccessKind::Read);
                 // Write the destination plane.
-                engine.access(dst, offset, plane_bytes, AccessKind::Write);
+                engine.access_range(dst, offset, plane_bytes, AccessKind::Write);
                 // 7-point stencil: ~8 flops per point.
                 engine.flops(8 * (n * n) as u64);
             }

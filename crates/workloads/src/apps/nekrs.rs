@@ -152,37 +152,41 @@ impl Workload for NekRs {
         let pp = p.poly_points as u64;
         let tensor_flops_per_element = 12 * pp * pp * pp * pp;
         let boundary_points = (2 * p.poly_points * p.poly_points) as u64;
+        let mut exchange: Vec<u64> = Vec::with_capacity((boundary_points / 16) as usize);
         for _step in 0..p.timesteps {
             for e in 0..p.elements {
                 let off = e as u64 * elem_bytes;
                 // Element-local operator evaluation: stream the element's
                 // slice of each field, read the small derivative matrix.
-                engine.access(geom, off, elem_bytes, AccessKind::Read);
-                engine.access(vel_x, off, elem_bytes, AccessKind::Read);
-                engine.access(vel_y, off, elem_bytes, AccessKind::Read);
-                engine.access(vel_z, off, elem_bytes, AccessKind::Read);
-                engine.access(
+                engine.access_range(geom, off, elem_bytes, AccessKind::Read);
+                engine.access_range(vel_x, off, elem_bytes, AccessKind::Read);
+                engine.access_range(vel_y, off, elem_bytes, AccessKind::Read);
+                engine.access_range(vel_z, off, elem_bytes, AccessKind::Read);
+                engine.access_range(
                     dmat,
                     0,
                     (p.poly_points * p.poly_points * 8) as u64,
                     AccessKind::Read,
                 );
-                engine.access(rhs, off, elem_bytes, AccessKind::Write);
+                engine.access_range(rhs, off, elem_bytes, AccessKind::Write);
                 engine.flops(tensor_flops_per_element);
 
                 // Gather/scatter: exchange face values with randomly chosen
-                // neighbouring elements (indirect accesses into the mask map).
+                // neighbouring elements — one bulk gather of indirect
+                // accesses into the mask map per element (same offsets in
+                // the same order as the per-point loop it replaces).
+                exchange.clear();
                 for _ in 0..boundary_points / 16 {
                     let neighbour = rng.gen_range(0..p.elements) as u64;
                     let point = rng.gen_range(0..p.points_per_element());
-                    let goff = neighbour * elem_bytes + point * 8;
-                    engine.access(mask, goff, 8, AccessKind::Read);
+                    exchange.push(neighbour * elem_bytes + point * 8);
                 }
+                engine.gather(mask, &exchange, 8);
             }
             // Pressure solve iteration: stream pressure and rhs once.
-            engine.access(pressure, 0, fbytes, AccessKind::Read);
-            engine.access(rhs, 0, fbytes, AccessKind::Read);
-            engine.access(pressure, 0, fbytes, AccessKind::Write);
+            engine.access_range(pressure, 0, fbytes, AccessKind::Read);
+            engine.access_range(rhs, 0, fbytes, AccessKind::Read);
+            engine.access_range(pressure, 0, fbytes, AccessKind::Write);
             engine.flops(6 * p.total_points());
         }
         engine.phase_end();

@@ -159,23 +159,29 @@ impl Workload for XsBench {
         let union_points = p.unionized_points();
         let binsearch_steps = 64 - (union_points.leading_zeros() as u64).min(63);
         let iso_stride = (p.gridpoints * 6 * 8) as u64;
+        let mut probes: Vec<u64> = Vec::with_capacity(binsearch_steps as usize);
         for _ in 0..p.lookups {
-            // Sample a particle energy: binary search over the unionized grid.
+            // Sample a particle energy: binary search over the unionized
+            // grid. The probe sequence is a pure function of the target, so
+            // the whole search is issued as one bulk gather (same probes,
+            // same order).
             let mut lo = 0u64;
             let mut hi = union_points - 1;
             let target = rng.gen_range(0..union_points);
+            probes.clear();
             for _ in 0..binsearch_steps {
                 if lo >= hi {
                     break;
                 }
                 let mid = (lo + hi) / 2;
-                engine.access(energy, mid * 8, 8, AccessKind::Read);
+                probes.push(mid * 8);
                 if mid < target {
                     lo = mid + 1;
                 } else {
                     hi = mid;
                 }
             }
+            engine.gather(energy, &probes, 8);
             let gridpoint = (target % p.gridpoints as u64).min(p.gridpoints as u64 - 2);
 
             // Occasionally consult the unionized index grid row (sequential

@@ -64,6 +64,12 @@ pub struct ParMap<T, F> {
 impl<T, F> ParMap<T, F> {
     /// Runs the map over the thread pool and gathers the results in input
     /// order. Panics in worker closures are propagated to the caller.
+    ///
+    /// No thread is spawned when the pool is configured for one worker
+    /// (`RAYON_NUM_THREADS=1`) or the input reduces to a single chunk, and
+    /// the first chunk always runs inline on the caller thread — a
+    /// `collect` over `k` chunks spawns `k - 1` workers, which cuts the
+    /// latency and scheduler noise of small campaigns on single-core CI.
     pub fn collect<R, C>(self) -> C
     where
         T: Send,
@@ -71,8 +77,19 @@ impl<T, F> ParMap<T, F> {
         F: Fn(T) -> R + Sync,
         C: FromIterator<R>,
     {
+        let threads = current_num_threads();
+        self.collect_with(threads)
+    }
+
+    fn collect_with<R, C>(self, threads: usize) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
         let n = self.items.len();
-        let threads = current_num_threads().min(n);
+        let threads = threads.min(n);
         if threads <= 1 {
             return self.items.into_iter().map(&self.f).collect();
         }
@@ -87,18 +104,25 @@ impl<T, F> ParMap<T, F> {
             chunks.push(chunk);
         }
         let f = &self.f;
+        let mut chunks = chunks.into_iter();
+        let first = chunks.next().expect("n >= 2 yields at least one chunk");
+        if chunks.len() == 0 {
+            // Single chunk: run it inline, no pool at all.
+            return first.into_iter().map(f).collect();
+        }
         let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
-                .into_iter()
                 .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(results) => results,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect()
+            // The first chunk runs on the caller thread while the workers
+            // process the rest.
+            let head: Vec<R> = first.into_iter().map(f).collect();
+            let mut gathered = vec![head];
+            gathered.extend(handles.into_iter().map(|h| match h.join() {
+                Ok(results) => results,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }));
+            gathered
         });
         per_chunk.into_iter().flatten().collect()
     }
@@ -167,6 +191,43 @@ mod tests {
             ids.len() > 1,
             "64 items across >=2 workers must use more than one thread"
         );
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_on_caller() {
+        let caller = format!("{:?}", std::thread::current().id());
+        let ids: HashSet<String> = (0..64)
+            .into_par_iter()
+            .map(|_| format!("{:?}", std::thread::current().id()))
+            .collect_with(1);
+        assert_eq!(
+            ids,
+            HashSet::from([caller]),
+            "RAYON_NUM_THREADS=1 must not spawn workers"
+        );
+    }
+
+    #[test]
+    fn caller_thread_participates_in_the_pool() {
+        let caller = format!("{:?}", std::thread::current().id());
+        let ids: Vec<String> = (0..64)
+            .into_par_iter()
+            .map(|_| format!("{:?}", std::thread::current().id()))
+            .collect_with(4);
+        // The first chunk runs on the caller; order is preserved.
+        assert_eq!(ids[0], caller);
+        assert!(
+            ids.iter().any(|id| *id != caller),
+            "later chunks must run on workers"
+        );
+    }
+
+    #[test]
+    fn order_preserved_with_caller_participation() {
+        let squares: Vec<u64> = (0u64..103).into_par_iter().map(|i| i * i).collect_with(5);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, (i as u64) * (i as u64));
+        }
     }
 
     #[test]
