@@ -5,17 +5,25 @@
 //! disabled, and the batched walk with the steady-state page-replay engine
 //! (the default).
 //!
-//! Emits `BENCH_throughput.json` so CI and later PRs can track the
-//! performance trajectory. Run with `DISMEM_QUICK=1` for the smoke profile.
-//! With `DISMEM_BASELINE=<path to a committed BENCH_throughput.json>` the
-//! bench exits non-zero if the stream replay speedup (a machine-independent
-//! ratio, unlike absolute lines/s) regresses more than 20% against the
-//! baseline.
+//! A second section sweeps the dynamic tiering policies (static /
+//! hot-promote / periodic-rebalance) over the phase-shifting working-set
+//! workload and reports *simulated* runtimes: the separation between static
+//! interleave and hot promotion is the committed evidence that migrations
+//! pay off and are charged to the pool link.
+//!
+//! Emits `BENCH_throughput.json` (an object with `throughput` and `tiering`
+//! sections) so CI and later PRs can track the performance trajectory. Run
+//! with `DISMEM_QUICK=1` for the smoke profile. With `DISMEM_BASELINE=<path
+//! to a committed BENCH_throughput.json>` the bench exits non-zero if the
+//! stream replay speedup (a machine-independent ratio, unlike absolute
+//! lines/s) regresses more than 20% against the baseline.
 
 use dismem_bench::{base_config, is_quick, print_table, write_json, Row};
+use dismem_sched::{default_specs, sweep_tiering_policies, CampaignConfig, TieringOutcome};
 use dismem_sim::Machine;
 use dismem_trace::access::lines_for;
-use dismem_trace::{AccessKind, MemoryEngine, PlacementPolicy};
+use dismem_trace::{AccessKind, MemoryEngine, PlacementPolicy, PAGE_SIZE};
+use dismem_workloads::{InputScale, PhaseShift, PhaseShiftParams};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -144,6 +152,38 @@ struct ThroughputResult {
     replay_windows: u64,
 }
 
+/// The emitted JSON: the pipeline throughput table plus the tiering-policy
+/// sweep. The baseline scanner below is line-based, so nesting the existing
+/// rows under `throughput` leaves the regression gate untouched.
+#[derive(Serialize)]
+struct ThroughputReport {
+    throughput: Vec<ThroughputResult>,
+    tiering: Vec<TieringOutcome>,
+}
+
+/// Sweeps the tiering policies over the phase-shifting workload on a pooled
+/// configuration (local tier = the interleaved half of the arena).
+fn tiering_sweep(quick: bool) -> Vec<TieringOutcome> {
+    // The sweep runs the full X1 workload even in the quick profile (a
+    // shorter phase dwell would not amortize the migrations, hiding the
+    // separation this section exists to show); the whole sweep simulates in
+    // a couple of seconds. Quick only trims the Monte Carlo campaign.
+    let params = PhaseShiftParams::bench(InputScale::X1);
+    let workload = PhaseShift::new(params);
+    let arena_pages = params.arena_bytes / PAGE_SIZE;
+    let config = base_config().with_local_capacity((arena_pages / 2 + 16) * PAGE_SIZE);
+    // One hotness epoch per sweep pass; promote at half a pass's per-page
+    // line count (see the dynamic_tiering example, which commits the same
+    // sweep as CAMPAIGN_tiering.json).
+    let specs = default_specs(65_536, 16.0);
+    let campaign = CampaignConfig {
+        runs: if quick { 10 } else { 50 },
+        epochs_per_run: 8,
+        seed: 7,
+    };
+    sweep_tiering_policies(&workload, &config, &specs, &campaign).outcomes
+}
+
 /// Extracts `"speedup_replay": <num>` values of stream rows from a committed
 /// baseline JSON (the vendored serde_json is write-only, so this is a small
 /// hand-rolled scan keyed on the known emission order).
@@ -254,7 +294,49 @@ fn main() {
          every pattern, and the replay engine multiplies the gain on sequential streams \
          (windows > 0 shows it engaged)."
     );
-    write_json("BENCH_throughput", &results);
+
+    let tiering = tiering_sweep(quick);
+    let tiering_rows: Vec<Row> = tiering
+        .iter()
+        .map(|o| {
+            Row::new(
+                o.policy.clone(),
+                vec![
+                    format!("{:.3} ms", o.runtime_s * 1e3),
+                    format!("{:.2}x", o.speedup_vs_static),
+                    format!("{:.2}x", o.loaded_speedup_vs_static),
+                    format!("{:.1}%", o.remote_access_ratio * 100.0),
+                    format!("{}", o.promotions + o.demotions),
+                    format!(
+                        "{:.1}",
+                        o.migration_link_raw_bytes as f64 / (1 << 20) as f64
+                    ),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Dynamic tiering — PhaseShift simulated runtime per policy",
+        &[
+            "sim-runtime",
+            "speedup",
+            "loaded",
+            "remote",
+            "migrations",
+            "link-MiB",
+        ],
+        &tiering_rows,
+    );
+    println!(
+        "\nExpected shape: hot-promote and periodic-rebalance beat static interleave on the \
+         phase-shifting working set, paying for it with migration traffic on the pool link."
+    );
+    let report = ThroughputReport {
+        throughput: results,
+        tiering,
+    };
+    write_json("BENCH_throughput", &report);
+    let results = report.throughput;
 
     // Regression gate against a committed baseline (CI): compare the
     // machine-independent stream replay speedups.

@@ -16,8 +16,17 @@
 //! Each workload is run many times under both policies; the runtime
 //! distributions (five-number summaries) reproduce Figure 13.
 
+//! A second campaign axis, dynamic tiering, lives in [`tiering`]: the same
+//! workloads are re-simulated under page promotion/demotion policies
+//! (static / hot-promote / periodic-rebalance) and each placement is then
+//! priced under the interference campaigns above.
+
 pub mod campaign;
 pub mod policy;
+pub mod tiering;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, PolicyComparison};
 pub use policy::SchedulingPolicy;
+pub use tiering::{
+    default_specs, run_with_tiering, sweep_tiering_policies, TieringOutcome, TieringSweep,
+};

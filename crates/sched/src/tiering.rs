@@ -1,0 +1,250 @@
+//! Dynamic-tiering policy campaigns.
+//!
+//! Unlike the interference campaigns (which re-time a fixed profiled run),
+//! tiering policies change page placement itself, so each policy needs a full
+//! re-simulation. A sweep runs one simulation per [`TieringSpec`] — in
+//! parallel on the thread pool — and then reuses the Monte Carlo machinery to
+//! price every policy's run under randomly drawn pool interference, so the
+//! comparison covers both the idle-pool runtime and behaviour on a busy
+//! rack: migration traffic competes with the interferers for the same link,
+//! which is exactly the trade-off an operator deciding on a tiering daemon
+//! cares about.
+
+use crate::campaign::{run_campaign_sequential, CampaignConfig};
+use crate::policy::SchedulingPolicy;
+use dismem_sim::tiering::{HotPromote, PeriodicRebalance};
+use dismem_sim::{Machine, MachineConfig, RunReport, TieringSpec};
+use dismem_workloads::Workload;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Result of one tiering policy in a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TieringOutcome {
+    /// Policy label (`static`, `hot-promote`, `periodic-rebalance`).
+    pub policy: String,
+    /// Full policy configuration.
+    pub spec: TieringSpec,
+    /// Idle-pool simulated runtime.
+    pub runtime_s: f64,
+    /// Idle-pool speedup over the sweep's `static` policy (1.0 when this is
+    /// the static run, or when no static run is part of the sweep).
+    pub speedup_vs_static: f64,
+    /// Mean runtime under the random-baseline interference campaign.
+    pub mean_loaded_runtime_s: f64,
+    /// Speedup of the campaign mean over the static policy's campaign mean.
+    pub loaded_speedup_vs_static: f64,
+    /// Remote access ratio of the run (application traffic only).
+    pub remote_access_ratio: f64,
+    /// Hotness epochs completed.
+    pub epochs: u64,
+    /// Pages promoted pool → local.
+    pub promotions: u64,
+    /// Pages demoted local → pool.
+    pub demotions: u64,
+    /// Payload bytes moved by migrations.
+    pub migrated_bytes: u64,
+    /// Migrations suppressed by the ping-pong damper.
+    pub ping_pongs_damped: u64,
+    /// Raw link bytes spent on migrations (payload × protocol overhead).
+    pub migration_link_raw_bytes: u64,
+    /// Total raw link bytes of the run (application + migrations).
+    pub link_raw_bytes: u64,
+}
+
+/// A full policy sweep for one workload on one machine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TieringSweep {
+    /// Workload name.
+    pub workload: String,
+    /// Input description.
+    pub input: String,
+    /// One outcome per requested policy, in request order.
+    pub outcomes: Vec<TieringOutcome>,
+}
+
+impl TieringSweep {
+    /// The outcome of the `static` reference policy, if it was swept.
+    pub fn static_outcome(&self) -> Option<&TieringOutcome> {
+        self.outcomes.iter().find(|o| o.policy == "static")
+    }
+
+    /// The best (lowest idle runtime) outcome.
+    pub fn best(&self) -> Option<&TieringOutcome> {
+        self.outcomes
+            .iter()
+            .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
+    }
+}
+
+/// The canonical three-policy sweep: the static reference, TPP-style hot
+/// promotion and AutoNUMA-style periodic rebalancing, sharing one epoch
+/// length and heat scale.
+pub fn default_specs(epoch_lines: u64, promote_heat: f64) -> Vec<TieringSpec> {
+    vec![
+        TieringSpec::Static,
+        TieringSpec::HotPromote(HotPromote {
+            demote_heat: promote_heat / 4.0,
+            ..HotPromote::new(epoch_lines, promote_heat)
+        }),
+        TieringSpec::PeriodicRebalance(PeriodicRebalance::new(epoch_lines, 2, 4096)),
+    ]
+}
+
+/// Simulates `workload` once under `spec`.
+pub fn run_with_tiering(
+    workload: &dyn Workload,
+    config: &MachineConfig,
+    spec: &TieringSpec,
+) -> RunReport {
+    let mut machine = Machine::new(config.clone());
+    machine.set_tiering_spec(spec);
+    workload.run(&mut machine);
+    machine.finish()
+}
+
+/// Sweeps `specs` for one workload: one full simulation per policy (in
+/// parallel), followed by a sequential interference campaign per run. The
+/// result is deterministic for a given `(config, specs, campaign)` input.
+pub fn sweep_tiering_policies(
+    workload: &dyn Workload,
+    config: &MachineConfig,
+    specs: &[TieringSpec],
+    campaign: &CampaignConfig,
+) -> TieringSweep {
+    let reports: Vec<RunReport> = specs
+        .par_iter()
+        .map(|spec| run_with_tiering(workload, config, spec))
+        .collect();
+    let means: Vec<f64> = reports
+        .par_iter()
+        .map(|report| {
+            run_campaign_sequential(
+                workload.name(),
+                report,
+                SchedulingPolicy::RandomBaseline,
+                campaign,
+            )
+            .mean_s
+        })
+        .collect();
+
+    // Without a static run in the sweep there is no reference to compare
+    // against, and the speedup fields stay at their documented 1.0.
+    let static_idx = specs.iter().position(|s| matches!(s, TieringSpec::Static));
+    let static_runtime = static_idx.map(|i| reports[i].total_runtime_s);
+    let static_mean = static_idx.map(|i| means[i]);
+
+    let outcomes = specs
+        .iter()
+        .zip(&reports)
+        .zip(&means)
+        .map(|((spec, report), &mean_loaded)| {
+            let t = &report.tiering;
+            TieringOutcome {
+                policy: t.policy.clone(),
+                spec: *spec,
+                runtime_s: report.total_runtime_s,
+                speedup_vs_static: match static_runtime {
+                    Some(s) if report.total_runtime_s > 0.0 => s / report.total_runtime_s,
+                    _ => 1.0,
+                },
+                mean_loaded_runtime_s: mean_loaded,
+                loaded_speedup_vs_static: match static_mean {
+                    Some(s) if mean_loaded > 0.0 => s / mean_loaded,
+                    _ => 1.0,
+                },
+                remote_access_ratio: report.remote_access_ratio(),
+                epochs: t.epochs,
+                promotions: t.promotions,
+                demotions: t.demotions,
+                migrated_bytes: t.migrated_bytes,
+                ping_pongs_damped: t.ping_pongs_damped,
+                migration_link_raw_bytes: report.migration_link_raw_bytes(),
+                link_raw_bytes: report.total.link_raw_bytes,
+            }
+        })
+        .collect();
+    TieringSweep {
+        workload: workload.name().to_string(),
+        input: workload.input_description(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_workloads::{PhaseShift, PhaseShiftParams};
+
+    const PAGE_SIZE: u64 = 4096;
+
+    fn sweep_setup() -> (PhaseShift, MachineConfig) {
+        let workload = PhaseShift::new(PhaseShiftParams::tiny());
+        // Local tier fits half the interleaved arena plus the accumulator.
+        let arena_pages = workload.params().arena_bytes / PAGE_SIZE;
+        let config =
+            MachineConfig::test_config().with_local_capacity((arena_pages / 2 + 2) * PAGE_SIZE);
+        (workload, config)
+    }
+
+    fn small_campaign() -> CampaignConfig {
+        CampaignConfig {
+            runs: 12,
+            epochs_per_run: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sweep_shows_hot_promote_beating_static_on_phaseshift() {
+        let (workload, config) = sweep_setup();
+        let specs = default_specs(2048, 12.0);
+        let sweep = sweep_tiering_policies(&workload, &config, &specs, &small_campaign());
+        assert_eq!(sweep.outcomes.len(), 3);
+        let st = sweep.static_outcome().expect("static swept");
+        assert_eq!(st.promotions + st.demotions, 0);
+        assert!((st.speedup_vs_static - 1.0).abs() < 1e-12);
+
+        let hot = sweep
+            .outcomes
+            .iter()
+            .find(|o| o.policy == "hot-promote")
+            .unwrap();
+        assert!(hot.promotions > 0, "hot-promote must migrate: {hot:?}");
+        assert!(hot.migrated_bytes > 0);
+        assert!(hot.migration_link_raw_bytes > hot.migrated_bytes);
+        assert!(
+            hot.speedup_vs_static > 1.02,
+            "hot-promote should beat static: {}",
+            hot.speedup_vs_static
+        );
+        assert!(hot.remote_access_ratio < st.remote_access_ratio);
+        // The interference campaign prices both runs; migrating away from
+        // the pool should not make the loaded mean worse.
+        assert!(hot.loaded_speedup_vs_static > 1.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let (workload, config) = sweep_setup();
+        let specs = default_specs(2048, 12.0);
+        let a = sweep_tiering_policies(&workload, &config, &specs, &small_campaign());
+        let b = sweep_tiering_policies(&workload, &config, &specs, &small_campaign());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.runtime_s, y.runtime_s);
+            assert_eq!(x.mean_loaded_runtime_s, y.mean_loaded_runtime_s);
+            assert_eq!(x.promotions, y.promotions);
+            assert_eq!(x.demotions, y.demotions);
+        }
+    }
+
+    #[test]
+    fn best_outcome_lookup() {
+        let (workload, config) = sweep_setup();
+        let specs = default_specs(2048, 12.0);
+        let sweep = sweep_tiering_policies(&workload, &config, &specs, &small_campaign());
+        let best = sweep.best().unwrap();
+        assert!(sweep.outcomes.iter().all(|o| o.runtime_s >= best.runtime_s));
+    }
+}

@@ -8,6 +8,7 @@
 //! which is what makes allocation order and early frees effective placement
 //! optimizations (the BFS case study).
 
+use crate::tiering::HotnessTracker;
 use dismem_trace::access::pages_for;
 use dismem_trace::{AllocationRecord, ObjectHandle, PageHistogram, PlacementPolicy};
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,50 @@ impl std::fmt::Display for OutOfMemory {
 
 impl std::error::Error for OutOfMemory {}
 
+/// Error raised by [`AddressSpace::free`] for invalid frees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreeError {
+    /// The handle does not name any allocation of this address space.
+    UnknownHandle(ObjectHandle),
+    /// The object was already freed.
+    DoubleFree {
+        /// Name of the object being freed twice.
+        object: String,
+    },
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreeError::UnknownHandle(h) => write!(f, "free of unknown handle {}", h.0),
+            FreeError::DoubleFree { object } => write!(f, "double free of object '{object}'"),
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
+/// Error raised by [`AddressSpace::rebind_page`] when a migration cannot be
+/// applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebindError {
+    /// The page is not bound to any tier (never touched, or freed).
+    Unbound,
+    /// The destination tier has no free capacity.
+    NoCapacity,
+}
+
+impl std::fmt::Display for RebindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebindError::Unbound => write!(f, "page is not bound to a tier"),
+            RebindError::NoCapacity => write!(f, "destination tier is full"),
+        }
+    }
+}
+
+impl std::error::Error for RebindError {}
+
 #[derive(Debug, Clone)]
 struct Extent {
     first_page: u64,
@@ -102,6 +147,10 @@ pub struct AddressSpace {
     live_bytes: u64,
     peak_bytes: u64,
     histogram: PageHistogram,
+    /// Per-page hotness tracking for the dynamic tiering subsystem; `None`
+    /// (the default, and always under the `Static` policy) makes the traffic
+    /// recording paths exactly as cheap as before tiering existed.
+    hotness: Option<HotnessTracker>,
 }
 
 impl AddressSpace {
@@ -123,7 +172,25 @@ impl AddressSpace {
             live_bytes: 0,
             peak_bytes: 0,
             histogram: PageHistogram::new(),
+            hotness: None,
         }
+    }
+
+    /// Installs (or removes) the hotness tracker that the DRAM traffic
+    /// recording feeds. Installed by [`crate::Machine`] when a dynamic
+    /// tiering policy is set.
+    pub fn set_hotness(&mut self, tracker: Option<HotnessTracker>) {
+        self.hotness = tracker;
+    }
+
+    /// The installed hotness tracker, if any.
+    pub fn hotness(&self) -> Option<&HotnessTracker> {
+        self.hotness.as_ref()
+    }
+
+    /// Mutable access to the installed hotness tracker, if any.
+    pub fn hotness_mut(&mut self) -> Option<&mut HotnessTracker> {
+        self.hotness.as_mut()
     }
 
     /// Allocates an object and returns its handle. Pages are *not* bound to a
@@ -154,14 +221,20 @@ impl AddressSpace {
     }
 
     /// Frees an object, releasing its bound pages back to their tiers.
-    pub fn free(&mut self, handle: ObjectHandle) {
+    ///
+    /// Invalid frees (unknown handle, double free) are reported as a typed
+    /// [`FreeError`] so engines can surface them; the address space itself is
+    /// left untouched in that case.
+    pub fn free(&mut self, handle: ObjectHandle) -> Result<(), FreeError> {
         let idx = handle.index();
-        assert!(idx < self.allocations.len(), "free of unknown handle");
-        assert!(
-            !self.allocations[idx].freed,
-            "double free of object '{}'",
-            self.allocations[idx].name
-        );
+        if idx >= self.allocations.len() {
+            return Err(FreeError::UnknownHandle(handle));
+        }
+        if self.allocations[idx].freed {
+            return Err(FreeError::DoubleFree {
+                object: self.allocations[idx].name.clone(),
+            });
+        }
         self.allocations[idx].freed = true;
         self.last_resolved = None;
         self.live_bytes = self.live_bytes.saturating_sub(self.allocations[idx].bytes);
@@ -180,6 +253,7 @@ impl AddressSpace {
                 }
             }
         }
+        Ok(())
     }
 
     /// Base address of an object's first byte.
@@ -197,6 +271,9 @@ impl AddressSpace {
     pub fn dram_access(&mut self, addr: u64) -> Result<Tier, OutOfMemory> {
         let page = addr / dismem_trace::PAGE_SIZE;
         self.histogram.record(page, 1);
+        if let Some(h) = &mut self.hotness {
+            h.record(page, 1);
+        }
         if let Some(&(tier, owner)) = self.page_tier.get(&page) {
             self.bump_object_traffic(owner, tier);
             return Ok(tier);
@@ -247,6 +324,9 @@ impl AddressSpace {
     /// addresses within one page, with the bookkeeping batched.
     pub fn record_dram_traffic(&mut self, owner: ObjectHandle, tier: Tier, page: u64, lines: u64) {
         self.histogram.record(page, lines);
+        if let Some(h) = &mut self.hotness {
+            h.record(page, lines);
+        }
         let p = &mut self.placements[owner.index()];
         match tier {
             Tier::Local => p.dram_lines_local += lines,
@@ -259,6 +339,65 @@ impl AddressSpace {
         self.page_tier
             .get(&(addr / dismem_trace::PAGE_SIZE))
             .map(|&(t, _)| t)
+    }
+
+    /// Tier currently bound to a page number, if any.
+    pub fn tier_of_page(&self, page: u64) -> Option<Tier> {
+        self.page_tier.get(&page).map(|&(t, _)| t)
+    }
+
+    /// Iterates over every bound page and its tier, in no particular order
+    /// (callers that need determinism must sort).
+    pub fn bound_pages(&self) -> impl Iterator<Item = (u64, Tier)> + '_ {
+        self.page_tier
+            .iter()
+            .map(|(&page, &(tier, _))| (page, tier))
+    }
+
+    /// Rebinds an already-bound page to another tier — the migration
+    /// primitive of the dynamic tiering subsystem, and the only way a page
+    /// changes tier after its first touch.
+    ///
+    /// Keeps every piece of derived state consistent: tier page counts, the
+    /// owning object's [`ObjectPlacement`] page counts, and the resolve memo.
+    /// Extents, the page histogram, per-object traffic counters and the
+    /// first-touch interleave cursor (`assigned_pages`) are untouched — a
+    /// migration moves data, it does not re-run placement. Returns the tier
+    /// the page was bound to before.
+    pub fn rebind_page(&mut self, page: u64, to: Tier) -> Result<Tier, RebindError> {
+        let &(from, owner) = self.page_tier.get(&page).ok_or(RebindError::Unbound)?;
+        if from == to {
+            return Ok(from);
+        }
+        match to {
+            Tier::Local if !self.local_has_room() => return Err(RebindError::NoCapacity),
+            Tier::Pool if !self.pool_has_room() => return Err(RebindError::NoCapacity),
+            _ => {}
+        }
+        let placement = &mut self.placements[owner.index()];
+        match from {
+            Tier::Local => {
+                self.local_pages_used -= 1;
+                placement.pages_local -= 1;
+            }
+            Tier::Pool => {
+                self.pool_pages_used -= 1;
+                placement.pages_pool -= 1;
+            }
+        }
+        match to {
+            Tier::Local => {
+                self.local_pages_used += 1;
+                placement.pages_local += 1;
+            }
+            Tier::Pool => {
+                self.pool_pages_used += 1;
+                placement.pages_pool += 1;
+            }
+        }
+        self.page_tier.insert(page, (to, owner));
+        self.last_resolved = None;
+        Ok(from)
     }
 
     fn bump_object_traffic(&mut self, owner: ObjectHandle, tier: Tier) {
@@ -307,7 +446,9 @@ impl AddressSpace {
             PlacementPolicy::ForceRemote => false,
             PlacementPolicy::Interleave { local, remote } => {
                 let idx = self.assigned_pages[owner.index()];
-                let period = (local + remote) as u64;
+                // Widen before adding: `local + remote` may exceed `u32::MAX`
+                // (the constructor only rejects an all-zero ratio).
+                let period = local as u64 + remote as u64;
                 (idx % period) < local as u64
             }
         };
@@ -459,7 +600,7 @@ mod tests {
         space.dram_access(addr_of(&space, temp, 0)).unwrap();
         space.dram_access(addr_of(&space, temp, PAGE_SIZE)).unwrap();
         assert_eq!(space.local_pages_used(), 2);
-        space.free(temp);
+        space.free(temp).unwrap();
         assert_eq!(space.local_pages_used(), 0);
 
         let frontier = space.alloc(
@@ -514,12 +655,127 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_and_unknown_handle_are_typed_errors() {
         let mut space = AddressSpace::new(None, None);
         let a = space.alloc("A", "t", PAGE_SIZE, PlacementPolicy::FirstTouch);
-        space.free(a);
-        space.free(a);
+        space.dram_access(addr_of(&space, a, 0)).unwrap();
+        space.free(a).unwrap();
+        let err = space.free(a).unwrap_err();
+        assert_eq!(
+            err,
+            FreeError::DoubleFree {
+                object: "A".to_string()
+            }
+        );
+        assert!(err.to_string().contains("double free of object 'A'"));
+        // The failed free must not disturb accounting.
+        assert_eq!(space.local_pages_used(), 0);
+        let unknown = ObjectHandle(42);
+        let err = space.free(unknown).unwrap_err();
+        assert_eq!(err, FreeError::UnknownHandle(unknown));
+        assert!(err.to_string().contains("unknown handle 42"));
+    }
+
+    #[test]
+    fn rebind_page_migrates_between_tiers_consistently() {
+        let mut space = AddressSpace::new(Some(2 * PAGE_SIZE), Some(4 * PAGE_SIZE));
+        let a = space.alloc("A", "t", 4 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        for p in 0..4 {
+            space
+                .dram_access(addr_of(&space, a, p * PAGE_SIZE))
+                .unwrap();
+        }
+        let first_page = space.base_addr(a) / PAGE_SIZE;
+        assert_eq!(space.tier_of_page(first_page + 2), Some(Tier::Pool));
+        // Local is full: promotion must be refused until a demotion frees room.
+        assert_eq!(
+            space.rebind_page(first_page + 2, Tier::Local),
+            Err(RebindError::NoCapacity)
+        );
+        assert_eq!(space.rebind_page(first_page, Tier::Pool), Ok(Tier::Local));
+        assert_eq!(
+            space.rebind_page(first_page + 2, Tier::Local),
+            Ok(Tier::Pool)
+        );
+        assert_eq!(space.tier_of_page(first_page), Some(Tier::Pool));
+        assert_eq!(space.tier_of_page(first_page + 2), Some(Tier::Local));
+        let pl = space.placement(a);
+        assert_eq!(pl.pages_local, 2);
+        assert_eq!(pl.pages_pool, 2);
+        assert_eq!(space.local_pages_used(), 2);
+        assert_eq!(space.pool_pages_used(), 2);
+        // Same-tier rebind is a no-op; unbound pages are typed errors.
+        assert_eq!(space.rebind_page(first_page, Tier::Pool), Ok(Tier::Pool));
+        assert_eq!(
+            space.rebind_page(first_page + 100, Tier::Local),
+            Err(RebindError::Unbound)
+        );
+        // Traffic keeps flowing to the migrated page's new tier.
+        assert_eq!(
+            space
+                .dram_access(addr_of(&space, a, 2 * PAGE_SIZE))
+                .unwrap(),
+            Tier::Local
+        );
+    }
+
+    #[test]
+    fn free_after_partial_rebind_releases_the_right_tiers() {
+        let mut space = AddressSpace::new(Some(4 * PAGE_SIZE), None);
+        let a = space.alloc("A", "t", 4 * PAGE_SIZE, PlacementPolicy::interleave(1, 1));
+        for p in 0..4 {
+            space
+                .dram_access(addr_of(&space, a, p * PAGE_SIZE))
+                .unwrap();
+        }
+        let first_page = space.base_addr(a) / PAGE_SIZE;
+        // Promote one pool page, demote one local page, then free the object.
+        space.rebind_page(first_page + 1, Tier::Local).unwrap();
+        space.rebind_page(first_page, Tier::Pool).unwrap();
+        space.free(a).unwrap();
+        assert_eq!(space.local_pages_used(), 0);
+        assert_eq!(space.pool_pages_used(), 0);
+        let pl = space.placement(a);
+        assert_eq!(pl.pages_local, 0);
+        assert_eq!(pl.pages_pool, 0);
+    }
+
+    #[test]
+    fn hotness_tracker_follows_dram_traffic() {
+        use crate::tiering::HotnessTracker;
+        let mut space = AddressSpace::new(None, None);
+        space.set_hotness(Some(HotnessTracker::new(0.5)));
+        let a = space.alloc("A", "t", 2 * PAGE_SIZE, PlacementPolicy::FirstTouch);
+        let page = space.base_addr(a) / PAGE_SIZE;
+        space.dram_access(addr_of(&space, a, 0)).unwrap();
+        space.dram_access(addr_of(&space, a, 64)).unwrap();
+        let (tier, owner) = space.resolve_dram(addr_of(&space, a, PAGE_SIZE)).unwrap();
+        space.record_dram_traffic(owner, tier, page + 1, 5);
+        let tracker = space.hotness_mut().unwrap();
+        tracker.end_epoch();
+        assert_eq!(tracker.heat_of(page), 2.0);
+        assert_eq!(tracker.heat_of(page + 1), 5.0);
+    }
+
+    #[test]
+    fn interleave_period_survives_u32_max_ratio() {
+        // `local + remote` overflows u32; the widened period must still place
+        // the first `local` pages on the local tier.
+        let mut space = AddressSpace::new(None, None);
+        let a = space.alloc(
+            "A",
+            "t",
+            4 * PAGE_SIZE,
+            PlacementPolicy::interleave(u32::MAX, u32::MAX),
+        );
+        for p in 0..4 {
+            space
+                .dram_access(addr_of(&space, a, p * PAGE_SIZE))
+                .unwrap();
+        }
+        let pl = space.placement(a);
+        assert_eq!(pl.pages_local, 4);
+        assert_eq!(pl.pages_pool, 0);
     }
 
     #[test]
@@ -527,7 +783,7 @@ mod tests {
         let mut space = AddressSpace::new(None, None);
         let a = space.alloc("A", "t", 1000, PlacementPolicy::FirstTouch);
         let _b = space.alloc("B", "t", 2000, PlacementPolicy::FirstTouch);
-        space.free(a);
+        space.free(a).unwrap();
         let _c = space.alloc("C", "t", 500, PlacementPolicy::FirstTouch);
         assert_eq!(space.peak_footprint_bytes(), 3000);
         assert_eq!(space.live_bytes(), 2500);

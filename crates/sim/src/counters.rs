@@ -43,8 +43,17 @@ pub struct Counters {
     /// Dirty lines written back to the pool tier.
     pub writeback_lines_pool: u64,
     /// Raw traffic placed on the pool link in bytes (payload × protocol
-    /// overhead), the analogue of the UPI `sktXtraffic` counters.
+    /// overhead), the analogue of the UPI `sktXtraffic` counters. Includes
+    /// the raw bytes of page migrations, which cross the link by definition.
     pub link_raw_bytes: u64,
+    /// Cache lines moved through the local tier by page migrations (every
+    /// promotion/demotion reads one side and writes the other, so each
+    /// migrated page adds a page's worth of lines to *both* tiers). Kept
+    /// separate from the access counters so the paper's remote-access and
+    /// prefetch metrics stay application-traffic-only.
+    pub migration_lines_local: u64,
+    /// Cache lines moved through the pool tier by page migrations.
+    pub migration_lines_pool: u64,
 }
 
 impl Counters {
@@ -65,6 +74,8 @@ impl Counters {
         self.writeback_lines_local += other.writeback_lines_local;
         self.writeback_lines_pool += other.writeback_lines_pool;
         self.link_raw_bytes += other.link_raw_bytes;
+        self.migration_lines_local += other.migration_lines_local;
+        self.migration_lines_pool += other.migration_lines_pool;
     }
 
     /// Field-wise difference `self - earlier`. Every counter is monotonically
@@ -88,6 +99,8 @@ impl Counters {
             writeback_lines_local: self.writeback_lines_local - earlier.writeback_lines_local,
             writeback_lines_pool: self.writeback_lines_pool - earlier.writeback_lines_pool,
             link_raw_bytes: self.link_raw_bytes - earlier.link_raw_bytes,
+            migration_lines_local: self.migration_lines_local - earlier.migration_lines_local,
+            migration_lines_pool: self.migration_lines_pool - earlier.migration_lines_pool,
         }
     }
 
@@ -156,6 +169,15 @@ impl Counters {
     pub fn demand_dram_lines(&self) -> u64 {
         self.demand_dram_lines_local + self.demand_dram_lines_pool
     }
+
+    /// Bytes moved by page migrations, summed over both tiers (each migrated
+    /// page contributes one page of traffic per tier). Excluded from
+    /// [`Counters::bytes_dram`] and the remote-access ratio — migration
+    /// traffic competes for bandwidth (the timing model charges it) but is
+    /// not an application access.
+    pub fn migration_bytes(&self, line_bytes: u64) -> u64 {
+        (self.migration_lines_local + self.migration_lines_pool) * line_bytes
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +201,8 @@ mod tests {
             writeback_lines_local: 5,
             writeback_lines_pool: 5,
             link_raw_bytes: 8960,
+            migration_lines_local: 64,
+            migration_lines_pool: 64,
         }
     }
 
@@ -198,6 +222,8 @@ mod tests {
         assert_eq!(c.bytes_local(64), (70 + 5) * 64);
         assert_eq!(c.bytes_pool(64), (30 + 5) * 64);
         assert_eq!(c.bytes_dram(64), 110 * 64);
+        // Migration traffic is accounted separately from application bytes.
+        assert_eq!(c.migration_bytes(64), 128 * 64);
     }
 
     #[test]

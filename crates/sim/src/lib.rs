@@ -31,9 +31,10 @@ pub mod machine;
 pub mod prefetch;
 pub(crate) mod replay;
 pub mod report;
+pub mod tiering;
 pub mod timing;
 
-pub use address_space::{AddressSpace, Tier};
+pub use address_space::{AddressSpace, FreeError, RebindError, Tier};
 pub use cache::{CacheSim, MemoryLevel};
 pub use config::{CacheParams, LinkParams, MachineConfig, PrefetchParams, TierParams};
 pub use counters::Counters;
@@ -41,5 +42,8 @@ pub use interference::InterferenceProfile;
 pub use link::LinkModel;
 pub use machine::Machine;
 pub use prefetch::StreamPrefetcher;
-pub use report::{AllocationSummary, PhaseReport, RunReport, TimelineSample};
+pub use report::{AllocationSummary, PhaseReport, RunReport, TieringReport, TimelineSample};
+pub use tiering::{
+    HotPromote, HotnessTracker, PeriodicRebalance, Static, TieringPolicy, TieringSpec,
+};
 pub use timing::TimingModel;

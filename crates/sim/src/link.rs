@@ -74,6 +74,14 @@ impl LinkModel {
     pub fn loi_of_rate(&self, raw_bytes_per_s: f64) -> f64 {
         raw_bytes_per_s / self.params.raw_bandwidth_bps
     }
+
+    /// Raw link traffic of migrating `pages` whole pages between the tiers.
+    /// Every promotion and demotion crosses the link (one side of the copy is
+    /// always the pool), so the payload is `pages × PAGE_SIZE` plus protocol
+    /// overhead.
+    pub fn migration_raw_bytes(&self, pages: u64) -> u64 {
+        self.raw_bytes(pages * dismem_trace::PAGE_SIZE)
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +152,13 @@ mod tests {
     fn loi_of_rate_roundtrip() {
         let l = link();
         assert!((l.loi_of_rate(42.5e9) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_raw_bytes_charges_whole_pages_with_overhead() {
+        let l = link();
+        let raw = l.migration_raw_bytes(10);
+        assert_eq!(raw, l.raw_bytes(10 * dismem_trace::PAGE_SIZE));
+        assert!(raw > 10 * dismem_trace::PAGE_SIZE);
     }
 }

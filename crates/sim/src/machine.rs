@@ -5,13 +5,17 @@
 //! the cache hierarchy (traffic filtering and prefetching), the link model
 //! (interference) and the timing model (runtime) and produces a [`RunReport`].
 
-use crate::address_space::{AddressSpace, Tier};
+use crate::address_space::{AddressSpace, FreeError, Tier};
 use crate::cache::{CacheSim, DramEvent, DramEventKind, DramSink};
 use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::interference::InterferenceProfile;
 use crate::prefetch::StreamPrefetcher;
-use crate::report::{AllocationSummary, PhaseReport, RunReport, TimelineSample};
+use crate::report::{AllocationSummary, PhaseReport, RunReport, TieringReport, TimelineSample};
+use crate::tiering::{
+    HotnessTracker, PageSample, TierOccupancy, TieringPolicy, TieringRuntime, TieringSpec,
+    TieringStats,
+};
 use crate::timing::TimingModel;
 use dismem_trace::{AccessKind, MemoryEngine, ObjectHandle, PlacementPolicy, CACHE_LINE_SIZE};
 
@@ -218,6 +222,10 @@ pub struct Machine {
     /// the machine walks every access line by line exactly as the reference
     /// implementation does — the two paths produce bit-identical reports.
     batched: bool,
+    /// Dynamic tiering: installed policy, epoch accumulator, damper history
+    /// and migration statistics. Defaults to [`crate::tiering::Static`],
+    /// which never fires an epoch.
+    tiering: TieringRuntime,
 
     phase_names: Vec<String>,
     phase_counters: Vec<Counters>,
@@ -246,6 +254,7 @@ impl Machine {
             dram_events: Vec::with_capacity(64),
             chunk_pool_link_lines: 0,
             batched: true,
+            tiering: TieringRuntime::new(Box::new(crate::tiering::Static)),
             phase_names: Vec::new(),
             phase_counters: Vec::new(),
             phase_runtimes: Vec::new(),
@@ -268,6 +277,39 @@ impl Machine {
     /// Sets the background interference profile on the pool link.
     pub fn set_interference(&mut self, profile: InterferenceProfile) {
         self.interference = profile;
+    }
+
+    /// Installs a dynamic tiering policy (see [`crate::tiering`]).
+    ///
+    /// Install before driving traffic: installation resets the hotness
+    /// tracker, the epoch accumulator and the ping-pong damper history
+    /// (migration statistics already accumulated are kept, so a report still
+    /// reflects the whole run). With a static policy (the default) the
+    /// machine never fires an epoch and behaves bit-identically to the
+    /// pre-tiering simulator.
+    pub fn set_tiering(&mut self, policy: Box<dyn TieringPolicy>) {
+        let tracker = policy
+            .epoch_lines()
+            .map(|_| HotnessTracker::new(policy.decay()));
+        self.space.set_hotness(tracker);
+        let stats = self.tiering.stats;
+        self.tiering = TieringRuntime::new(policy);
+        self.tiering.stats = stats;
+    }
+
+    /// Installs the policy described by a serializable [`TieringSpec`].
+    pub fn set_tiering_spec(&mut self, spec: &TieringSpec) {
+        self.set_tiering(spec.build());
+    }
+
+    /// Name of the installed tiering policy.
+    pub fn tiering_policy_name(&self) -> &'static str {
+        self.tiering.policy.name()
+    }
+
+    /// Migration statistics accumulated so far.
+    pub fn tiering_stats(&self) -> TieringStats {
+        self.tiering.stats
     }
 
     /// Enables or disables the hardware prefetcher (MSR 0x1a4 analogue).
@@ -327,6 +369,12 @@ impl Machine {
     /// machine is created per run.
     pub fn finish(&mut self) -> RunReport {
         self.close_chunk();
+        // A tiering epoch firing at that close deposits its migration traffic
+        // into a fresh chunk; close again so it is timed and reported. The
+        // second close cannot fire another epoch (migration traffic does not
+        // count towards the epoch accumulator), so two closes always drain.
+        self.close_chunk();
+        debug_assert_eq!(self.chunk, Counters::default());
         let line_bytes = self.config.cache.line_bytes;
         let phases = self
             .phase_names
@@ -368,6 +416,22 @@ impl Machine {
             peak_footprint_bytes: self.space.peak_footprint_bytes(),
             local_pages_used: self.space.local_pages_used(),
             pool_pages_used: self.space.pool_pages_used(),
+            tiering: self.tiering_report(),
+        }
+    }
+
+    fn tiering_report(&self) -> TieringReport {
+        let s = self.tiering.stats;
+        let migrated_pages = s.promotions + s.demotions;
+        TieringReport {
+            policy: self.tiering.policy.name().to_string(),
+            epochs: s.epochs,
+            promotions: s.promotions,
+            demotions: s.demotions,
+            migrated_pages,
+            migrated_bytes: migrated_pages * dismem_trace::PAGE_SIZE,
+            ping_pongs_damped: s.ping_pongs_damped,
+            skipped_capacity: s.skipped_capacity,
         }
     }
 
@@ -399,7 +463,114 @@ impl Machine {
         }
         self.total.add(&self.chunk);
         self.clock_s += duration;
+        // Application DRAM lines drive the tiering epoch clock (migration
+        // lines deliberately excluded, so a migration burst cannot re-fire an
+        // epoch on its own).
+        let app_dram_lines = self.chunk.dram_lines_local
+            + self.chunk.dram_lines_pool
+            + self.chunk.writeback_lines_local
+            + self.chunk.writeback_lines_pool;
         self.chunk = Counters::default();
+        if let Some(epoch_lines) = self.tiering.policy.epoch_lines() {
+            self.tiering.epoch_acc += app_dram_lines;
+            if self.tiering.epoch_acc >= epoch_lines {
+                self.tiering.epoch_acc = 0;
+                self.run_tiering_epoch();
+            }
+        }
+    }
+
+    /// Completes a hotness epoch: folds the tracker, asks the policy for
+    /// migrations, applies them to the address space and charges the moved
+    /// pages as page-sized traffic on both tiers and the pool link (the
+    /// charge lands in the chunk that is just opening, so the timing model
+    /// prices it at the placement it created).
+    ///
+    /// Runs only between cache walks (chunk closes never happen mid-walk).
+    /// Any applied migration hard-resets the replay engine: tier bindings are
+    /// part of the environment a replayed window re-emits traffic against, so
+    /// in-flight replay is materialized and all detection state (including an
+    /// armed snapshot) is dropped before the next walk can arm or replay.
+    fn run_tiering_epoch(&mut self) {
+        let Some(tracker) = self.space.hotness_mut() else {
+            return;
+        };
+        tracker.end_epoch();
+        self.tiering.epoch += 1;
+        let epoch = self.tiering.epoch;
+        let cooldown = self.tiering.policy.cooldown_epochs();
+        if cooldown > 0 {
+            self.tiering
+                .last_migrated
+                .retain(|_, last| epoch - *last <= cooldown);
+        }
+
+        // Sample every bound page with its decayed heat, sorted hottest-first
+        // (page number as tie-break) so policy decisions are deterministic
+        // regardless of hash-map iteration order.
+        let tracker = self.space.hotness().expect("tracker installed above");
+        let mut samples: Vec<PageSample> = self
+            .space
+            .bound_pages()
+            .map(|(page, tier)| PageSample {
+                page,
+                tier,
+                heat: tracker.heat_of(page),
+                cooling: self.tiering.damped(page, epoch, cooldown),
+            })
+            .collect();
+        samples
+            .sort_unstable_by(|a, b| b.heat.total_cmp(&a.heat).then_with(|| a.page.cmp(&b.page)));
+        let occupancy = TierOccupancy {
+            local_used: self.space.local_pages_used(),
+            local_capacity: self
+                .config
+                .local
+                .capacity_bytes
+                .map(dismem_trace::access::pages_for),
+            pool_used: self.space.pool_pages_used(),
+            pool_capacity: self
+                .config
+                .pool
+                .capacity_bytes
+                .map(dismem_trace::access::pages_for),
+        };
+        let orders = self.tiering.policy.plan(epoch, &samples, &occupancy);
+
+        let mut moved = 0u64;
+        for order in orders {
+            if self.tiering.damped(order.page, epoch, cooldown) {
+                self.tiering.stats.ping_pongs_damped += 1;
+                continue;
+            }
+            match self.space.rebind_page(order.page, order.to) {
+                Ok(from) if from != order.to => {
+                    moved += 1;
+                    self.tiering.last_migrated.insert(order.page, epoch);
+                    match order.to {
+                        Tier::Local => self.tiering.stats.promotions += 1,
+                        Tier::Pool => self.tiering.stats.demotions += 1,
+                    }
+                }
+                Ok(_) => {}
+                Err(crate::address_space::RebindError::NoCapacity) => {
+                    self.tiering.stats.skipped_capacity += 1;
+                }
+                Err(crate::address_space::RebindError::Unbound) => {}
+            }
+        }
+        self.tiering.stats.epochs += 1;
+        if moved > 0 {
+            // Each migrated page is read from one tier and written to the
+            // other; one side is always the pool, so the whole payload also
+            // crosses the link (folded into `link_raw_bytes` with protocol
+            // overhead when this chunk closes).
+            let lines = moved * LINES_PER_PAGE;
+            self.chunk.migration_lines_local += lines;
+            self.chunk.migration_lines_pool += lines;
+            self.chunk_pool_link_lines += lines;
+            self.cache.replay_hard_reset();
+        }
     }
 
     /// The chunk-close policy, shared by `maybe_close_chunk` and the batched
@@ -567,6 +738,18 @@ impl Machine {
     pub fn address_space(&self) -> &AddressSpace {
         &self.space
     }
+
+    /// Frees an object, surfacing invalid frees (unknown handle, double
+    /// free) as a typed [`FreeError`] instead of aborting. The
+    /// [`MemoryEngine::free`] implementation panics on these errors to keep
+    /// the abort-on-programming-error contract workloads rely on; callers
+    /// that want to recover use this entry point.
+    pub fn try_free(&mut self, handle: ObjectHandle) -> Result<(), FreeError> {
+        // Close the chunk first so traffic before the free is timed with the
+        // placement that produced it.
+        self.close_chunk();
+        self.space.free(handle)
+    }
 }
 
 impl MemoryEngine for Machine {
@@ -581,10 +764,9 @@ impl MemoryEngine for Machine {
     }
 
     fn free(&mut self, handle: ObjectHandle) {
-        // Close the chunk first so traffic before the free is timed with the
-        // placement that produced it.
-        self.close_chunk();
-        self.space.free(handle);
+        if let Err(e) = self.try_free(handle) {
+            panic!("{e}");
+        }
     }
 
     fn phase_start(&mut self, name: &str) {
@@ -942,6 +1124,157 @@ mod tests {
         assert_eq!(no_windows, 0);
         assert_eq!(with_replay, without_replay);
         assert_eq!(with_replay, per_line);
+    }
+
+    /// A scaffold for tiering tests: a cold object fills the whole local
+    /// tier, a hot object lands entirely on the pool, and the hot object is
+    /// then streamed `passes` times. A promotion policy must demote the cold
+    /// pages and pull the hot ones local.
+    fn run_hot_cold(policy: Option<Box<dyn TieringPolicy>>, passes: usize) -> RunReport {
+        let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+        let mut m = Machine::new(config);
+        if let Some(policy) = policy {
+            m.set_tiering(policy);
+        }
+        let cold = m.alloc("cold", "t", 40 * PAGE_SIZE);
+        let hot = m.alloc("hot", "t", 32 * PAGE_SIZE);
+        m.phase_start("init");
+        m.touch(cold, 40 * PAGE_SIZE);
+        m.touch(hot, 32 * PAGE_SIZE);
+        m.phase_end();
+        m.phase_start("loop");
+        for _ in 0..passes {
+            m.read(hot, 0, 32 * PAGE_SIZE);
+        }
+        m.phase_end();
+        m.finish()
+    }
+
+    fn hot_promote_policy() -> Box<dyn TieringPolicy> {
+        Box::new(crate::tiering::HotPromote {
+            demote_heat: 8.0,
+            ..crate::tiering::HotPromote::new(4096, 32.0)
+        })
+    }
+
+    #[test]
+    fn hot_promote_migrates_hot_pages_and_beats_static() {
+        let static_report = run_hot_cold(None, 12);
+        let promoted = run_hot_cold(Some(hot_promote_policy()), 12);
+
+        assert_eq!(
+            static_report.tiering,
+            crate::report::TieringReport::default()
+        );
+        assert_eq!(static_report.total.migration_lines_pool, 0);
+
+        let t = &promoted.tiering;
+        assert_eq!(t.policy, "hot-promote");
+        assert!(t.epochs > 0, "epochs must fire: {t:?}");
+        assert!(t.promotions > 0, "hot pool pages must be promoted: {t:?}");
+        assert!(t.demotions > 0, "cold local pages must make room: {t:?}");
+        assert_eq!(t.migrated_pages, t.promotions + t.demotions);
+        assert_eq!(t.migrated_bytes, t.migrated_pages * PAGE_SIZE);
+        // Migration traffic is visible in the counters and charged to the
+        // link (raw bytes with protocol overhead).
+        assert_eq!(
+            promoted.total.migration_lines_pool,
+            t.migrated_pages * (PAGE_SIZE / 64)
+        );
+        assert_eq!(
+            promoted.total.migration_lines_local,
+            promoted.total.migration_lines_pool
+        );
+        assert!(promoted.migration_link_raw_bytes() > t.migrated_bytes);
+        // The whole point: serving the hot working set locally wins despite
+        // paying for the migrations.
+        assert!(
+            promoted.total_runtime_s < static_report.total_runtime_s * 0.95,
+            "hot-promote {} vs static {}",
+            promoted.total_runtime_s,
+            static_report.total_runtime_s
+        );
+        assert!(promoted.remote_access_ratio() < static_report.remote_access_ratio());
+        // Placement bookkeeping stays consistent after migrations.
+        assert_eq!(
+            promoted.local_pages_used + promoted.pool_pages_used,
+            static_report.local_pages_used + static_report.pool_pages_used
+        );
+        let hot_alloc = promoted.allocation("hot").unwrap();
+        assert!(hot_alloc.pages_local > 0, "hot object must end up local");
+    }
+
+    #[test]
+    fn periodic_rebalance_swaps_hot_for_cold() {
+        let policy = Box::new(crate::tiering::PeriodicRebalance::new(4096, 2, 64));
+        let report = run_hot_cold(Some(policy), 12);
+        let t = &report.tiering;
+        assert_eq!(t.policy, "periodic-rebalance");
+        assert!(t.promotions > 0, "{t:?}");
+        assert!(t.demotions > 0, "{t:?}");
+        let static_report = run_hot_cold(None, 12);
+        assert!(report.total_runtime_s < static_report.total_runtime_s);
+    }
+
+    #[test]
+    fn static_tiering_policy_is_bit_identical_to_default() {
+        let default_report = run_hot_cold(None, 6);
+        let static_report = run_hot_cold(Some(Box::new(crate::tiering::Static)), 6);
+        assert_eq!(default_report, static_report);
+    }
+
+    #[test]
+    fn tiering_is_bit_identical_across_pipelines() {
+        let run = |batched: bool, replay: bool| {
+            let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+            let mut m = Machine::new(config);
+            m.set_batched_access(batched);
+            m.set_replay(replay);
+            m.set_tiering(hot_promote_policy());
+            let cold = m.alloc("cold", "t", 40 * PAGE_SIZE);
+            let hot = m.alloc("hot", "t", 32 * PAGE_SIZE);
+            m.phase_start("p");
+            m.touch(cold, 40 * PAGE_SIZE);
+            m.touch(hot, 32 * PAGE_SIZE);
+            for _ in 0..10 {
+                m.read(hot, 0, 32 * PAGE_SIZE);
+            }
+            m.gather(cold, &[0, 4096, 128, 65_536], 8);
+            m.read(cold, 0, 12 * PAGE_SIZE);
+            m.phase_end();
+            m.finish()
+        };
+        let per_line = run(false, false);
+        let batched = run(true, false);
+        let with_replay = run(true, true);
+        assert!(per_line.tiering.promotions > 0);
+        assert_eq!(batched, per_line, "batched diverged under migrations");
+        assert_eq!(with_replay, per_line, "replay diverged under migrations");
+    }
+
+    #[test]
+    fn try_free_surfaces_typed_errors() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        let a = m.alloc("A", "t", PAGE_SIZE);
+        m.touch(a, PAGE_SIZE);
+        m.try_free(a).unwrap();
+        assert!(matches!(
+            m.try_free(a),
+            Err(crate::address_space::FreeError::DoubleFree { .. })
+        ));
+        assert!(matches!(
+            m.try_free(ObjectHandle(99)),
+            Err(crate::address_space::FreeError::UnknownHandle(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn engine_free_still_panics_on_double_free() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        let a = m.alloc("A", "t", PAGE_SIZE);
+        m.free(a);
+        m.free(a);
     }
 
     #[test]

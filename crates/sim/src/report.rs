@@ -108,6 +108,45 @@ pub struct TimelineSample {
     pub phase: Option<usize>,
 }
 
+/// Migration activity of the dynamic tiering subsystem over a run.
+///
+/// All zeros (with policy `"static"`) when no dynamic policy was installed —
+/// the default, and the paper's pin-at-first-touch behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieringReport {
+    /// Name of the installed tiering policy.
+    pub policy: String,
+    /// Hotness epochs completed.
+    pub epochs: u64,
+    /// Pages promoted pool → local.
+    pub promotions: u64,
+    /// Pages demoted local → pool.
+    pub demotions: u64,
+    /// Total pages migrated (promotions + demotions).
+    pub migrated_pages: u64,
+    /// Payload bytes moved by migrations (pages × page size).
+    pub migrated_bytes: u64,
+    /// Migrations suppressed by the ping-pong damper.
+    pub ping_pongs_damped: u64,
+    /// Migrations dropped because the destination tier was full.
+    pub skipped_capacity: u64,
+}
+
+impl Default for TieringReport {
+    fn default() -> Self {
+        Self {
+            policy: "static".to_string(),
+            epochs: 0,
+            promotions: 0,
+            demotions: 0,
+            migrated_pages: 0,
+            migrated_bytes: 0,
+            ping_pongs_damped: 0,
+            skipped_capacity: 0,
+        }
+    }
+}
+
 /// Result of re-evaluating a run's timeline under a different interference
 /// profile (no re-simulation of caches or placement).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -141,6 +180,8 @@ pub struct RunReport {
     pub local_pages_used: u64,
     /// Pages bound to the pool tier at the end of the run.
     pub pool_pages_used: u64,
+    /// Dynamic-tiering migration activity (all zeros under `Static`).
+    pub tiering: TieringReport,
 }
 
 impl RunReport {
@@ -161,6 +202,14 @@ impl RunReport {
     /// Bytes accessed from the pool tier over the whole run.
     pub fn remote_bytes(&self) -> u64 {
         self.total.bytes_pool(self.config.cache.line_bytes)
+    }
+
+    /// Raw link traffic generated by page migrations over the run (payload ×
+    /// protocol overhead). Part of [`Counters::link_raw_bytes`]; broken out
+    /// here so campaign sweeps can show what migrations cost on the link.
+    pub fn migration_link_raw_bytes(&self) -> u64 {
+        crate::link::LinkModel::new(self.config.link)
+            .migration_raw_bytes(self.tiering.migrated_pages)
     }
 
     /// Average raw link traffic rate over the run, in GB/s.
@@ -283,6 +332,7 @@ mod tests {
             peak_footprint_bytes: 0,
             local_pages_used: 0,
             pool_pages_used: 10,
+            tiering: TieringReport::default(),
         }
     }
 

@@ -1,0 +1,822 @@
+//! Dynamic tiering: page hotness tracking, promotion/demotion policies and
+//! the migration bookkeeping that backs them.
+//!
+//! The paper's emulation platform pins every page to a tier at first touch
+//! (NUMA balancing disabled), and [`crate::AddressSpace`] reproduces exactly
+//! that. Real disaggregated deployments, however, migrate pages at runtime:
+//! the OS promotes hot pages from the far tier into node-local DRAM
+//! (TPP-style hot-page promotion) and demotes cold local pages to the pool
+//! under capacity pressure (AutoNUMA-style sampling and rebalancing). This
+//! module adds that axis to the simulator:
+//!
+//! * a [`HotnessTracker`] — an epoch-based, exponentially decayed per-page
+//!   DRAM-traffic counter fed from both the per-line and the batched access
+//!   pipelines (the feed point is the address space's traffic recording, so
+//!   the two pipelines observe bit-identical heat: per-epoch accrual is pure
+//!   integer addition, which commutes, and the decayed score is only folded
+//!   at epoch boundaries, which both pipelines reach at the same chunk
+//!   closes);
+//! * the [`TieringPolicy`] trait with three shipped policies — [`Static`]
+//!   (no epochs, no migrations: the pre-tiering reference behaviour),
+//!   [`HotPromote`] (threshold promotion of hot pool pages with
+//!   capacity-pressure demotion and a ping-pong damper) and
+//!   [`PeriodicRebalance`] (sampled top-k hot/cold swap every N epochs);
+//! * [`TieringSpec`] — a serializable description of a policy configuration,
+//!   used by campaign sweeps and benchmark harnesses to name policies in
+//!   committed JSON.
+//!
+//! # Epochs and determinism
+//!
+//! A tiering epoch completes after [`TieringPolicy::epoch_lines`] DRAM lines
+//! of application traffic, checked when the machine closes a timing chunk.
+//! Chunk-close decisions are bit-identical across the per-line, batched and
+//! replay pipelines (the workspace property tests enforce this), heat is
+//! accumulated in integers, and policy decisions sort their candidates with a
+//! total order — so the whole subsystem is deterministic and
+//! pipeline-independent: a tiering run produces the same `RunReport` on all
+//! three pipelines.
+//!
+//! # Interaction with the replay engine
+//!
+//! Tier bindings are part of the environment the steady-state replay engine's
+//! fingerprints implicitly assume: a replayed window re-emits its DRAM
+//! transactions against the *current* bindings. Migration epochs therefore
+//! only ever fire between cache walks (at chunk closes), and any epoch that
+//! actually moves a page hard-resets the replay engine — in-flight replay is
+//! materialized to the exact cache state and all detection state (including
+//! an armed snapshot) is dropped before the next walk starts. With the
+//! [`Static`] policy no epoch ever fires and the machine is bit-identical to
+//! the pre-tiering simulator.
+
+use crate::address_space::Tier;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Heat scores below this are pruned at epoch boundaries, keeping the tracker
+/// O(recently touched pages).
+const HEAT_FLOOR: f64 = 1e-3;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PageHeat {
+    /// Decayed score as of the last completed epoch.
+    score: f64,
+    /// DRAM lines recorded against the page in the current epoch (integer
+    /// accrual: additions commute, so the batched pipeline's per-page bulk
+    /// recording and the per-line pipeline's event-by-event recording agree
+    /// bit for bit at every epoch boundary).
+    cur_lines: u64,
+}
+
+/// Epoch-based per-page hotness tracker with exponential decay.
+///
+/// `record` is O(1) per (page, lines) batch; `end_epoch` is O(tracked pages),
+/// and pruning keeps the tracked set proportional to the recently touched
+/// working set rather than the footprint.
+#[derive(Debug, Clone)]
+pub struct HotnessTracker {
+    decay: f64,
+    epochs_completed: u64,
+    heat: HashMap<u64, PageHeat>,
+}
+
+impl HotnessTracker {
+    /// Creates a tracker with the given per-epoch decay factor (0–1; the
+    /// score of a page that stops being touched halves every epoch at 0.5).
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay),
+            "decay must be within [0, 1), got {decay}"
+        );
+        Self {
+            decay,
+            epochs_completed: 0,
+            heat: HashMap::new(),
+        }
+    }
+
+    /// Records `lines` DRAM line transactions against `page` in the current
+    /// epoch.
+    #[inline]
+    pub fn record(&mut self, page: u64, lines: u64) {
+        self.heat.entry(page).or_default().cur_lines += lines;
+    }
+
+    /// Completes the current epoch: folds the epoch's integer line counts
+    /// into the decayed scores and prunes pages that have gone cold.
+    pub fn end_epoch(&mut self) {
+        let decay = self.decay;
+        for h in self.heat.values_mut() {
+            h.score = h.score * decay + h.cur_lines as f64;
+            h.cur_lines = 0;
+        }
+        self.heat.retain(|_, h| h.score >= HEAT_FLOOR);
+        self.epochs_completed += 1;
+    }
+
+    /// Decayed heat of a page as of the last completed epoch (0 for pages
+    /// never touched or already pruned).
+    pub fn heat_of(&self, page: u64) -> f64 {
+        self.heat.get(&page).map_or(0.0, |h| h.score)
+    }
+
+    /// Number of epochs completed so far.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Number of pages currently tracked.
+    pub fn tracked_pages(&self) -> usize {
+        self.heat.len()
+    }
+}
+
+/// One page's heat and current binding, handed to [`TieringPolicy::plan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageSample {
+    /// Virtual page number.
+    pub page: u64,
+    /// Tier the page is currently bound to.
+    pub tier: Tier,
+    /// Decayed heat as of the epoch that just completed.
+    pub heat: f64,
+    /// Whether the page is still inside the ping-pong cooldown window from a
+    /// previous migration. An order targeting a cooling page will be refused
+    /// by the migration engine, so policies should not plan one — and in
+    /// particular should not demote other pages to make room for it.
+    pub cooling: bool,
+}
+
+/// Tier occupancy at the time a policy plans an epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct TierOccupancy {
+    /// Pages currently bound to the local tier.
+    pub local_used: u64,
+    /// Local-tier capacity in pages (`None` = unbounded).
+    pub local_capacity: Option<u64>,
+    /// Pages currently bound to the pool tier.
+    pub pool_used: u64,
+    /// Pool-tier capacity in pages (`None` = unbounded).
+    pub pool_capacity: Option<u64>,
+}
+
+impl TierOccupancy {
+    /// Free local pages (`u64::MAX` when unbounded).
+    pub fn local_free(&self) -> u64 {
+        match self.local_capacity {
+            Some(cap) => cap.saturating_sub(self.local_used),
+            None => u64::MAX,
+        }
+    }
+
+    /// Free pool pages (`u64::MAX` when unbounded).
+    pub fn pool_free(&self) -> u64 {
+        match self.pool_capacity {
+            Some(cap) => cap.saturating_sub(self.pool_used),
+            None => u64::MAX,
+        }
+    }
+}
+
+/// One migration decided by a policy: rebind `page` to `to`.
+///
+/// Orders are applied in sequence; a policy that needs to make room for a
+/// promotion emits the corresponding demotion *before* it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationOrder {
+    /// Page to migrate.
+    pub page: u64,
+    /// Destination tier.
+    pub to: Tier,
+}
+
+/// A dynamic tiering policy: decides which pages to migrate at each hotness
+/// epoch.
+///
+/// Implementations must be deterministic functions of their inputs — the
+/// sample list is sorted hottest-first with the page number as tie-break, so
+/// iterating it front-to-back (hot) or back-to-front (cold) is reproducible
+/// across runs and pipelines.
+pub trait TieringPolicy: Send + Sync {
+    /// Short policy name, used in reports and committed JSON.
+    fn name(&self) -> &'static str;
+
+    /// Application DRAM lines per hotness epoch, or `None` for a static
+    /// policy: no hotness tracking, no epochs, no migrations — the machine
+    /// behaves exactly as it did before the tiering subsystem existed.
+    fn epoch_lines(&self) -> Option<u64>;
+
+    /// Per-epoch exponential decay factor for the hotness tracker.
+    fn decay(&self) -> f64 {
+        0.5
+    }
+
+    /// Epochs a migrated page must wait before it may migrate again. Pages
+    /// inside the window are flagged [`PageSample::cooling`]; the migration
+    /// engine additionally refuses orders against them (counting the refusal
+    /// as a damped ping-pong), as a backstop for policies that ignore the
+    /// flag. The shipped policies consult the flag up front, so they never
+    /// waste capacity-making demotions on a promotion the damper would
+    /// refuse.
+    fn cooldown_epochs(&self) -> u64 {
+        0
+    }
+
+    /// Plans the migrations for the epoch that just completed. `samples`
+    /// lists every currently bound page, sorted by descending heat (page
+    /// number ascending as tie-break).
+    fn plan(
+        &mut self,
+        epoch: u64,
+        samples: &[PageSample],
+        occupancy: &TierOccupancy,
+    ) -> Vec<MigrationOrder>;
+}
+
+/// The reference policy: first-touch pinning forever, exactly the behaviour
+/// of the simulator before the tiering subsystem existed. No hotness tracking
+/// and no epochs, so a machine running `Static` is bit-identical (and equally
+/// fast) to one that never heard of tiering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Static;
+
+impl TieringPolicy for Static {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn epoch_lines(&self) -> Option<u64> {
+        None
+    }
+
+    fn plan(&mut self, _: u64, _: &[PageSample], _: &TierOccupancy) -> Vec<MigrationOrder> {
+        Vec::new()
+    }
+}
+
+/// TPP-style hot-page promotion with capacity-pressure demotion.
+///
+/// Every epoch, pool pages whose decayed heat reaches `promote_heat` are
+/// promoted (hottest first, at most `max_moves_per_epoch`). When the local
+/// tier lacks room, the coldest local pages whose heat is at or below
+/// `demote_heat` are demoted to make space — promotion never evicts a warm
+/// local page. The ping-pong damper (`cooldown_epochs`) suppresses
+/// re-migration of recently moved pages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotPromote {
+    /// Application DRAM lines per hotness epoch.
+    pub epoch_lines: u64,
+    /// Heat at which a pool page becomes a promotion candidate.
+    pub promote_heat: f64,
+    /// Heat at or below which a local page may be demoted under pressure.
+    pub demote_heat: f64,
+    /// Per-epoch decay factor of the hotness tracker.
+    pub decay: f64,
+    /// Ping-pong damper: epochs a migrated page must rest.
+    pub cooldown_epochs: u64,
+    /// Upper bound on promotions per epoch (bounds per-epoch link burst).
+    pub max_moves_per_epoch: u64,
+}
+
+impl HotPromote {
+    /// A promotion-threshold policy with damper defaults: demotion threshold
+    /// at a quarter of the promotion threshold, decay 0.5, cooldown 2 epochs,
+    /// at most 4096 promotions per epoch.
+    pub fn new(epoch_lines: u64, promote_heat: f64) -> Self {
+        Self {
+            epoch_lines,
+            promote_heat,
+            demote_heat: promote_heat / 4.0,
+            decay: 0.5,
+            cooldown_epochs: 2,
+            max_moves_per_epoch: 4096,
+        }
+    }
+}
+
+impl TieringPolicy for HotPromote {
+    fn name(&self) -> &'static str {
+        "hot-promote"
+    }
+
+    fn epoch_lines(&self) -> Option<u64> {
+        Some(self.epoch_lines)
+    }
+
+    fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    fn cooldown_epochs(&self) -> u64 {
+        self.cooldown_epochs
+    }
+
+    fn plan(
+        &mut self,
+        _epoch: u64,
+        samples: &[PageSample],
+        occupancy: &TierOccupancy,
+    ) -> Vec<MigrationOrder> {
+        let mut promotions: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.tier == Tier::Pool && s.heat >= self.promote_heat && !s.cooling)
+            .take(self.max_moves_per_epoch as usize)
+            .map(|s| s.page)
+            .collect();
+        if promotions.is_empty() {
+            return Vec::new();
+        }
+        let mut orders = Vec::new();
+        let room = occupancy.local_free();
+        if (promotions.len() as u64) > room {
+            let need = promotions.len() as u64 - room;
+            // Coldest local pages first (samples are sorted hottest-first).
+            let demotions: Vec<u64> = samples
+                .iter()
+                .rev()
+                .filter(|s| s.tier == Tier::Local && s.heat <= self.demote_heat && !s.cooling)
+                .take(need as usize)
+                .map(|s| s.page)
+                .collect();
+            if (demotions.len() as u64) < need {
+                // Not enough cold pages to make room: promote only what fits.
+                promotions.truncate((room + demotions.len() as u64) as usize);
+            }
+            orders.extend(demotions.into_iter().map(|page| MigrationOrder {
+                page,
+                to: Tier::Pool,
+            }));
+        }
+        orders.extend(promotions.into_iter().map(|page| MigrationOrder {
+            page,
+            to: Tier::Local,
+        }));
+        orders
+    }
+}
+
+/// AutoNUMA-style periodic rebalancing: every `period_epochs` epochs, the
+/// `top_k` hottest pool pages are compared against the coldest local pages
+/// and swapped pairwise whenever the pool page is strictly hotter (free local
+/// room is consumed first, without demotions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicRebalance {
+    /// Application DRAM lines per hotness epoch.
+    pub epoch_lines: u64,
+    /// Rebalance every this many epochs.
+    pub period_epochs: u64,
+    /// Sampled swap candidates per rebalance.
+    pub top_k: u64,
+    /// Per-epoch decay factor of the hotness tracker.
+    pub decay: f64,
+    /// Ping-pong damper: epochs a migrated page must rest.
+    pub cooldown_epochs: u64,
+}
+
+impl PeriodicRebalance {
+    /// A rebalancer with damper defaults (decay 0.5, cooldown 2 epochs).
+    pub fn new(epoch_lines: u64, period_epochs: u64, top_k: u64) -> Self {
+        Self {
+            epoch_lines,
+            period_epochs: period_epochs.max(1),
+            top_k,
+            decay: 0.5,
+            cooldown_epochs: 2,
+        }
+    }
+}
+
+impl TieringPolicy for PeriodicRebalance {
+    fn name(&self) -> &'static str {
+        "periodic-rebalance"
+    }
+
+    fn epoch_lines(&self) -> Option<u64> {
+        Some(self.epoch_lines)
+    }
+
+    fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    fn cooldown_epochs(&self) -> u64 {
+        self.cooldown_epochs
+    }
+
+    fn plan(
+        &mut self,
+        epoch: u64,
+        samples: &[PageSample],
+        occupancy: &TierOccupancy,
+    ) -> Vec<MigrationOrder> {
+        if epoch % self.period_epochs.max(1) != 0 {
+            return Vec::new();
+        }
+        let mut orders = Vec::new();
+        let mut room = occupancy.local_free();
+        let mut cold_local = samples
+            .iter()
+            .rev()
+            .filter(|s| s.tier == Tier::Local && !s.cooling)
+            .peekable();
+        for hot in samples
+            .iter()
+            .filter(|s| s.tier == Tier::Pool && s.heat > 0.0 && !s.cooling)
+            .take(self.top_k as usize)
+        {
+            if room > 0 {
+                room -= 1;
+            } else {
+                // Swap with the coldest remaining local page, if the hot pool
+                // page is strictly hotter. Samples are sorted, so once a swap
+                // stops paying off no later pair can either.
+                match cold_local.peek() {
+                    Some(cold) if hot.heat > cold.heat => {
+                        let cold = cold_local.next().unwrap();
+                        orders.push(MigrationOrder {
+                            page: cold.page,
+                            to: Tier::Pool,
+                        });
+                    }
+                    _ => break,
+                }
+            }
+            orders.push(MigrationOrder {
+                page: hot.page,
+                to: Tier::Local,
+            });
+        }
+        orders
+    }
+}
+
+/// Serializable description of a tiering-policy configuration, for campaign
+/// sweeps, benchmark harnesses and committed JSON results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TieringSpec {
+    /// First-touch pinning, no migrations (the reference).
+    Static,
+    /// [`HotPromote`] with the given parameters.
+    HotPromote(HotPromote),
+    /// [`PeriodicRebalance`] with the given parameters.
+    PeriodicRebalance(PeriodicRebalance),
+}
+
+impl TieringSpec {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TieringSpec::Static => "static",
+            TieringSpec::HotPromote(_) => "hot-promote",
+            TieringSpec::PeriodicRebalance(_) => "periodic-rebalance",
+        }
+    }
+
+    /// Instantiates the described policy.
+    pub fn build(&self) -> Box<dyn TieringPolicy> {
+        match *self {
+            TieringSpec::Static => Box::new(Static),
+            TieringSpec::HotPromote(p) => Box::new(p),
+            TieringSpec::PeriodicRebalance(p) => Box::new(p),
+        }
+    }
+}
+
+/// Migration statistics accumulated over a run (surfaced as
+/// [`crate::report::TieringReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieringStats {
+    /// Hotness epochs completed.
+    pub epochs: u64,
+    /// Pages promoted pool → local.
+    pub promotions: u64,
+    /// Pages demoted local → pool.
+    pub demotions: u64,
+    /// Migrations suppressed by the ping-pong damper.
+    pub ping_pongs_damped: u64,
+    /// Migrations dropped because the destination tier was full.
+    pub skipped_capacity: u64,
+}
+
+/// Per-machine tiering state: the installed policy, the epoch accumulator,
+/// the ping-pong damper history and the run statistics. Owned by
+/// [`crate::Machine`]; the policy's hotness tracker lives in the address
+/// space, next to the traffic recording that feeds it.
+pub(crate) struct TieringRuntime {
+    pub(crate) policy: Box<dyn TieringPolicy>,
+    /// Application DRAM lines accumulated towards the next epoch.
+    pub(crate) epoch_acc: u64,
+    /// Index of the current epoch (1-based; incremented when an epoch fires).
+    pub(crate) epoch: u64,
+    /// Page → epoch of its last applied migration (ping-pong damper).
+    pub(crate) last_migrated: HashMap<u64, u64>,
+    pub(crate) stats: TieringStats,
+}
+
+impl TieringRuntime {
+    pub(crate) fn new(policy: Box<dyn TieringPolicy>) -> Self {
+        Self {
+            policy,
+            epoch_acc: 0,
+            epoch: 0,
+            last_migrated: HashMap::new(),
+            stats: TieringStats::default(),
+        }
+    }
+
+    /// Whether the damper suppresses a migration of `page` in `epoch`.
+    pub(crate) fn damped(&self, page: u64, epoch: u64, cooldown: u64) -> bool {
+        cooldown > 0
+            && self
+                .last_migrated
+                .get(&page)
+                .is_some_and(|&last| epoch - last < cooldown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(page: u64, tier: Tier, heat: f64) -> PageSample {
+        PageSample {
+            page,
+            tier,
+            heat,
+            cooling: false,
+        }
+    }
+
+    fn occupancy(local_used: u64, local_cap: u64) -> TierOccupancy {
+        TierOccupancy {
+            local_used,
+            local_capacity: Some(local_cap),
+            pool_used: 0,
+            pool_capacity: None,
+        }
+    }
+
+    #[test]
+    fn tracker_decays_and_prunes() {
+        let mut t = HotnessTracker::new(0.5);
+        t.record(1, 100);
+        t.record(1, 28);
+        t.record(2, 2);
+        t.end_epoch();
+        assert_eq!(t.heat_of(1), 128.0);
+        assert_eq!(t.heat_of(2), 2.0);
+        // Page 1 untouched for an epoch: halves. Page 2 decays towards the
+        // floor and is eventually pruned.
+        t.end_epoch();
+        assert_eq!(t.heat_of(1), 64.0);
+        assert_eq!(t.heat_of(2), 1.0);
+        for _ in 0..20 {
+            t.end_epoch();
+        }
+        assert_eq!(t.heat_of(2), 0.0, "cold page must be pruned");
+        assert_eq!(t.tracked_pages(), 0, "all pages decay below the floor");
+        assert_eq!(t.epochs_completed(), 22);
+    }
+
+    #[test]
+    fn tracker_accrual_is_order_independent() {
+        let mut a = HotnessTracker::new(0.5);
+        let mut b = HotnessTracker::new(0.5);
+        // One bulk record vs many singles, interleaved differently.
+        a.record(7, 64);
+        a.record(9, 3);
+        for _ in 0..64 {
+            b.record(7, 1);
+        }
+        b.record(9, 2);
+        b.record(9, 1);
+        a.end_epoch();
+        b.end_epoch();
+        assert_eq!(a.heat_of(7).to_bits(), b.heat_of(7).to_bits());
+        assert_eq!(a.heat_of(9).to_bits(), b.heat_of(9).to_bits());
+    }
+
+    #[test]
+    fn static_policy_has_no_epochs() {
+        let mut s = Static;
+        assert_eq!(s.epoch_lines(), None);
+        assert_eq!(s.name(), "static");
+        assert!(s.plan(1, &[], &occupancy(0, 10)).is_empty());
+    }
+
+    #[test]
+    fn hot_promote_promotes_into_free_room() {
+        let mut p = HotPromote::new(1000, 10.0);
+        let samples = vec![
+            sample(5, Tier::Pool, 50.0),
+            sample(9, Tier::Pool, 20.0),
+            sample(1, Tier::Local, 15.0),
+            sample(7, Tier::Pool, 5.0), // below threshold
+        ];
+        let orders = p.plan(1, &samples, &occupancy(4, 8));
+        assert_eq!(
+            orders,
+            vec![
+                MigrationOrder {
+                    page: 5,
+                    to: Tier::Local
+                },
+                MigrationOrder {
+                    page: 9,
+                    to: Tier::Local
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_promote_demotes_cold_pages_under_pressure() {
+        let mut p = HotPromote::new(1000, 10.0);
+        let samples = vec![
+            sample(5, Tier::Pool, 50.0),
+            sample(9, Tier::Pool, 20.0),
+            sample(1, Tier::Local, 15.0), // warm: must not be demoted
+            sample(2, Tier::Local, 1.0),
+            sample(3, Tier::Local, 0.0),
+        ];
+        // Local full: both promotions need demotions; the coldest local pages
+        // go first and the warm page is untouchable.
+        let orders = p.plan(1, &samples, &occupancy(3, 3));
+        assert_eq!(orders.len(), 4);
+        assert_eq!(
+            orders[0],
+            MigrationOrder {
+                page: 3,
+                to: Tier::Pool
+            }
+        );
+        assert_eq!(
+            orders[1],
+            MigrationOrder {
+                page: 2,
+                to: Tier::Pool
+            }
+        );
+        assert!(orders[2..].iter().all(|o| o.to == Tier::Local));
+    }
+
+    #[test]
+    fn hot_promote_trims_promotions_without_demotion_candidates() {
+        let mut p = HotPromote {
+            demote_heat: 0.5,
+            ..HotPromote::new(1000, 10.0)
+        };
+        let samples = vec![
+            sample(5, Tier::Pool, 50.0),
+            sample(9, Tier::Pool, 20.0),
+            sample(1, Tier::Local, 15.0),
+            sample(2, Tier::Local, 8.0), // warmer than demote_heat
+        ];
+        let orders = p.plan(1, &samples, &occupancy(2, 3));
+        // One free slot, no demotable page: only the hottest promotion runs.
+        assert_eq!(
+            orders,
+            vec![MigrationOrder {
+                page: 5,
+                to: Tier::Local
+            }]
+        );
+    }
+
+    #[test]
+    fn hot_promote_skips_cooling_pages_and_their_demotions() {
+        let mut p = HotPromote::new(1000, 10.0);
+        let hot_but_cooling = PageSample {
+            cooling: true,
+            ..sample(5, Tier::Pool, 50.0)
+        };
+        let cold_but_cooling = PageSample {
+            cooling: true,
+            ..sample(3, Tier::Local, 0.0)
+        };
+        // The only promotion candidate is cooling: no orders at all — in
+        // particular no speculative demotion to make room for it.
+        let orders = p.plan(
+            1,
+            &[hot_but_cooling, sample(2, Tier::Local, 0.0)],
+            &occupancy(1, 1),
+        );
+        assert!(orders.is_empty());
+        // A cooling local page is not a demotion victim either.
+        let orders = p.plan(
+            1,
+            &[
+                sample(9, Tier::Pool, 20.0),
+                cold_but_cooling,
+                sample(2, Tier::Local, 1.0),
+            ],
+            &occupancy(2, 2),
+        );
+        assert_eq!(
+            orders,
+            vec![
+                MigrationOrder {
+                    page: 2,
+                    to: Tier::Pool
+                },
+                MigrationOrder {
+                    page: 9,
+                    to: Tier::Local
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn hot_promote_respects_move_cap() {
+        let mut p = HotPromote {
+            max_moves_per_epoch: 1,
+            ..HotPromote::new(1000, 10.0)
+        };
+        let samples = vec![sample(5, Tier::Pool, 50.0), sample(9, Tier::Pool, 20.0)];
+        let orders = p.plan(1, &samples, &occupancy(0, 8));
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders[0].page, 5);
+    }
+
+    #[test]
+    fn periodic_rebalance_swaps_only_profitable_pairs() {
+        let mut p = PeriodicRebalance::new(1000, 2, 8);
+        let samples = vec![
+            sample(5, Tier::Pool, 50.0),
+            sample(9, Tier::Pool, 20.0),
+            sample(1, Tier::Local, 30.0),
+            sample(2, Tier::Local, 25.0),
+        ];
+        // Off-period epoch: nothing.
+        assert!(p.plan(1, &samples, &occupancy(2, 2)).is_empty());
+        // On-period, local full: page 5 (50) swaps with page 2 (25); page 9
+        // (20) is not hotter than page 1 (30), so rebalancing stops.
+        let orders = p.plan(2, &samples, &occupancy(2, 2));
+        assert_eq!(
+            orders,
+            vec![
+                MigrationOrder {
+                    page: 2,
+                    to: Tier::Pool
+                },
+                MigrationOrder {
+                    page: 5,
+                    to: Tier::Local
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn periodic_rebalance_uses_free_room_before_swapping() {
+        let mut p = PeriodicRebalance::new(1000, 1, 8);
+        let samples = vec![sample(5, Tier::Pool, 50.0), sample(9, Tier::Pool, 20.0)];
+        let orders = p.plan(3, &samples, &occupancy(6, 7));
+        // One free slot, no local pages at all to swap with afterwards.
+        assert_eq!(
+            orders,
+            vec![MigrationOrder {
+                page: 5,
+                to: Tier::Local
+            }]
+        );
+    }
+
+    #[test]
+    fn damper_suppresses_recent_migrations() {
+        let mut rt = TieringRuntime::new(Box::new(Static));
+        rt.last_migrated.insert(7, 5);
+        assert!(rt.damped(7, 6, 2));
+        assert!(!rt.damped(7, 7, 2));
+        assert!(!rt.damped(7, 6, 0), "zero cooldown never damps");
+        assert!(!rt.damped(8, 6, 2), "never-migrated page is free to move");
+    }
+
+    #[test]
+    fn spec_builds_matching_policies() {
+        let specs = [
+            TieringSpec::Static,
+            TieringSpec::HotPromote(HotPromote::new(1000, 8.0)),
+            TieringSpec::PeriodicRebalance(PeriodicRebalance::new(1000, 4, 64)),
+        ];
+        let names: Vec<&str> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(names, ["static", "hot-promote", "periodic-rebalance"]);
+        for spec in &specs {
+            let policy = spec.build();
+            assert_eq!(policy.name(), spec.label());
+            assert_eq!(
+                policy.epoch_lines().is_none(),
+                matches!(spec, TieringSpec::Static)
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_free_accounting() {
+        let occ = occupancy(3, 8);
+        assert_eq!(occ.local_free(), 5);
+        assert_eq!(occ.pool_free(), u64::MAX);
+        let over = occupancy(9, 8);
+        assert_eq!(over.local_free(), 0);
+    }
+}

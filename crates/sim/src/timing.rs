@@ -85,8 +85,14 @@ impl TimingModel {
     /// found by bisection.
     pub fn chunk_time(&self, chunk: &Counters, loi: f64) -> TimeBreakdown {
         let line = self.config.cache.line_bytes;
-        let bytes_local = chunk.bytes_local(line) as f64;
-        let bytes_pool = chunk.bytes_pool(line) as f64;
+        // Page-migration traffic competes for the same tier bandwidth as the
+        // application's accesses (each migrated page is read from one tier
+        // and written to the other), and its raw bytes are already part of
+        // `link_raw_bytes`, so migrations also queue on the pool link. Their
+        // latency is never exposed to the core: migrations are asynchronous
+        // background copies.
+        let bytes_local = (chunk.bytes_local(line) + chunk.migration_lines_local * line) as f64;
+        let bytes_pool = (chunk.bytes_pool(line) + chunk.migration_lines_pool * line) as f64;
 
         let compute_s = chunk.flops as f64 / self.config.peak_flops;
         let local_bw_s = bytes_local / self.config.local.bandwidth_bps;
@@ -284,6 +290,33 @@ mod tests {
         let b = m.chunk_time(&Counters::default(), 0.3);
         assert_eq!(b.total_s, 0.0);
         assert_eq!(b.bottleneck(), "idle");
+    }
+
+    #[test]
+    fn migration_traffic_extends_the_bandwidth_terms() {
+        let m = model();
+        let base = pool_streaming_chunk();
+        let mut with_migrations = base;
+        // A big burst of migrations: a page's worth of lines on both tiers
+        // per migrated page.
+        with_migrations.migration_lines_pool = 2_000_000;
+        with_migrations.migration_lines_local = 2_000_000;
+        let t0 = m.chunk_time(&base, 0.0);
+        let t1 = m.chunk_time(&with_migrations, 0.0);
+        assert!(
+            t1.pool_bw_s > t0.pool_bw_s * 2.0,
+            "migration bytes must consume pool bandwidth"
+        );
+        assert!(t1.local_bw_s > t0.local_bw_s);
+        assert!(t1.total_s > t0.total_s);
+        // A migration-only chunk still takes time.
+        let migration_only = Counters {
+            migration_lines_local: 100_000,
+            migration_lines_pool: 100_000,
+            link_raw_bytes: 100_000 * 64 * 85 / 34,
+            ..Default::default()
+        };
+        assert!(m.chunk_time(&migration_only, 0.0).total_s > 0.0);
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub enum PlacementPolicy {
 impl PlacementPolicy {
     /// Returns an N:M interleave policy, validating that the ratio is not 0:0.
     pub fn interleave(local: u32, remote: u32) -> Self {
+        // Overflow-safe: an overflowing sum is necessarily non-zero, so only
+        // `Some(0)` (both sides zero) is invalid.
         assert!(
-            local + remote > 0,
+            local.checked_add(remote) != Some(0),
             "interleave ratio must have at least one page per round"
         );
         PlacementPolicy::Interleave { local, remote }
@@ -126,6 +128,22 @@ mod tests {
     #[should_panic(expected = "interleave ratio")]
     fn interleave_rejects_zero_ratio() {
         let _ = PlacementPolicy::interleave(0, 0);
+    }
+
+    #[test]
+    fn interleave_accepts_saturating_ratios() {
+        // `u32::MAX + u32::MAX` overflows u32; the validation must not wrap
+        // around to a spurious rejection (or a spurious acceptance of 0:0).
+        let p = PlacementPolicy::interleave(u32::MAX, u32::MAX);
+        assert_eq!(
+            p,
+            PlacementPolicy::Interleave {
+                local: u32::MAX,
+                remote: u32::MAX
+            }
+        );
+        let p = PlacementPolicy::interleave(u32::MAX, 1);
+        assert!(matches!(p, PlacementPolicy::Interleave { remote: 1, .. }));
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! The six proxy applications of the paper's evaluation (Table 2).
+//! The six proxy applications of the paper's evaluation (Table 2), plus the
+//! phase-shifting working-set proxy used by the dynamic-tiering studies.
 
 pub mod bfs;
 pub mod hpl;
 pub mod hypre;
 pub mod nekrs;
+pub mod phaseshift;
 pub mod superlu;
 pub mod xsbench;

@@ -1,0 +1,238 @@
+//! PhaseShift: a phase-shifting working-set proxy for dynamic-tiering
+//! studies.
+//!
+//! Not one of the paper's six applications — this workload exists to exercise
+//! the axis the paper's platform pins down: page placement over *time*. A
+//! large arena is interleaved across the tiers (the static best-effort
+//! placement when the footprint exceeds local capacity), and execution then
+//! proceeds in phases: each phase hammers one region of the arena (a working
+//! set that would fit in node-local DRAM) with latency-sensitive strided
+//! sweeps for many passes, then shifts to the next region. Pointer-chasing
+//! solvers, time-stepped multi-physics codes and graph algorithms with
+//! frontier-dependent footprints all show this "hot set moves, total
+//! footprint does not" shape.
+//!
+//! Under static placement every pass of every phase pays the pool for the
+//! interleaved half of its region. A hot-promotion policy instead pays a
+//! one-off migration per phase shift, after which the region is served
+//! locally — the canonical case for OS tiering (TPP, AutoNUMA), reproduced
+//! here so policy sweeps have a workload where dynamic tiering visibly wins.
+//!
+//! The strided access pattern (several cache lines apart) defeats the stream
+//! prefetcher, so pool residency costs exposed miss latency, not just
+//! bandwidth — which is exactly where tier locality matters most on the
+//! paper's testbed (202 ns pool vs 111 ns local).
+
+use crate::workload::{InputScale, Workload};
+use dismem_trace::{AccessKind, MemoryEngine, PlacementPolicy, PAGE_SIZE};
+
+/// PhaseShift parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseShiftParams {
+    /// Total arena size in bytes (should exceed local capacity in pooled
+    /// configurations).
+    pub arena_bytes: u64,
+    /// Bytes of the per-phase hot region (should fit in local capacity, but
+    /// exceed the last-level cache).
+    pub region_bytes: u64,
+    /// Strided sweeps over the hot region per phase.
+    pub passes_per_phase: u32,
+    /// How many times the schedule cycles through all regions.
+    pub rounds: u32,
+    /// Stride of the sweep in bytes (several cache lines: prefetch-hostile).
+    pub stride_bytes: u64,
+    /// Interleave ratio (local : pool) of the arena's static placement.
+    pub interleave: (u32, u32),
+}
+
+impl PhaseShiftParams {
+    /// Benchmark-sized configuration, scaled 1:2:4 like the paper's inputs.
+    /// The stride (two cache lines) defeats the stream prefetcher, and the
+    /// per-pass touched-line set (region / stride) exceeds the scaled 2 MiB
+    /// LLC, so every pass pays DRAM misses at its region's current placement.
+    pub fn bench(scale: InputScale) -> Self {
+        let f = scale.factor();
+        Self {
+            arena_bytes: f * (32 << 20),
+            region_bytes: f * (8 << 20),
+            passes_per_phase: 12,
+            rounds: 2,
+            stride_bytes: 128,
+            interleave: (1, 1),
+        }
+    }
+
+    /// Tiny configuration for unit tests (sized against the tiny test cache:
+    /// 3072 touched lines per pass vs a 1024-line LLC, and a phase dwell long
+    /// enough that a one-off page migration amortizes).
+    pub fn tiny() -> Self {
+        Self {
+            arena_bytes: 288 * PAGE_SIZE,
+            region_bytes: 96 * PAGE_SIZE,
+            passes_per_phase: 16,
+            rounds: 2,
+            stride_bytes: 128,
+            interleave: (1, 1),
+        }
+    }
+
+    /// Number of phases per round.
+    pub fn regions(&self) -> u64 {
+        (self.arena_bytes / self.region_bytes).max(1)
+    }
+
+    /// Elements swept per pass.
+    pub fn elements_per_pass(&self) -> u64 {
+        self.region_bytes / self.stride_bytes
+    }
+}
+
+/// The phase-shifting working-set workload.
+#[derive(Debug, Clone)]
+pub struct PhaseShift {
+    params: PhaseShiftParams,
+}
+
+impl PhaseShift {
+    /// Creates the workload.
+    pub fn new(params: PhaseShiftParams) -> Self {
+        assert!(
+            params.region_bytes > 0
+                && params.arena_bytes >= params.region_bytes
+                && params.stride_bytes >= 8,
+            "invalid PhaseShift parameters: {params:?}"
+        );
+        Self { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &PhaseShiftParams {
+        &self.params
+    }
+}
+
+impl Workload for PhaseShift {
+    fn name(&self) -> &'static str {
+        "PhaseShift"
+    }
+
+    fn description(&self) -> &'static str {
+        "Phase-shifting working set over a tier-interleaved arena (dynamic-tiering proxy)"
+    }
+
+    fn parallelization(&self) -> &'static str {
+        "OpenMP"
+    }
+
+    fn input_description(&self) -> String {
+        let p = &self.params;
+        format!(
+            "{} MiB arena, {} MiB hot region, {} regions x {} rounds, {} passes, stride {}",
+            p.arena_bytes >> 20,
+            p.region_bytes >> 20,
+            p.regions(),
+            p.rounds,
+            p.passes_per_phase,
+            p.stride_bytes,
+        )
+    }
+
+    fn expected_footprint_bytes(&self) -> u64 {
+        // Arena plus the small per-phase accumulator.
+        self.params.arena_bytes + PAGE_SIZE
+    }
+
+    fn run(&self, engine: &mut dyn MemoryEngine) {
+        let p = &self.params;
+        let (il_local, il_pool) = p.interleave;
+        let arena = engine.alloc_with_policy(
+            "arena",
+            "phaseshift.rs:init",
+            p.arena_bytes,
+            PlacementPolicy::interleave(il_local, il_pool),
+        );
+        let acc = engine.alloc("accumulator", "phaseshift.rs:init", PAGE_SIZE);
+
+        engine.phase_start("p1-init");
+        engine.touch(arena, p.arena_bytes);
+        engine.touch(acc, PAGE_SIZE);
+        engine.flops(p.arena_bytes / 8);
+        engine.phase_end();
+
+        engine.phase_start("p2-phased-sweeps");
+        let regions = p.regions();
+        let elements = p.elements_per_pass();
+        for round in 0..p.rounds as u64 {
+            for region in 0..regions {
+                // Walk the regions in a round-dependent order so consecutive
+                // rounds do not replay the identical schedule.
+                let idx = (region + round) % regions;
+                let base = idx * p.region_bytes;
+                for _ in 0..p.passes_per_phase {
+                    engine.strided(arena, base, elements, 8, p.stride_bytes, AccessKind::Read);
+                    // A small reduction per pass: low arithmetic intensity,
+                    // the runtime is dominated by the sweep's misses.
+                    engine.write(acc, 0, 64);
+                    engine.flops(elements * 2);
+                }
+            }
+        }
+        engine.phase_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismem_trace::TraceRecorder;
+
+    #[test]
+    fn phases_cover_each_region_every_round() {
+        let w = PhaseShift::new(PhaseShiftParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        let stats = rec.stats();
+        assert_eq!(stats.phases.len(), 2);
+        let p = w.params();
+        // Every pass reads `elements` 8-byte elements.
+        let expected_reads =
+            p.regions() * p.rounds as u64 * p.passes_per_phase as u64 * p.elements_per_pass() * 8;
+        assert_eq!(stats.phases[1].bytes_read, expected_reads);
+        assert!(stats.peak_footprint_bytes >= p.arena_bytes);
+    }
+
+    #[test]
+    fn sweep_touches_the_whole_arena_but_one_region_at_a_time() {
+        let w = PhaseShift::new(PhaseShiftParams::tiny());
+        let mut rec = TraceRecorder::new();
+        w.run(&mut rec);
+        // All arena pages are touched (init + sweeps)...
+        let arena_pages = w.params().arena_bytes / PAGE_SIZE;
+        assert!(rec.histogram().touched_pages() as u64 >= arena_pages);
+        // ...but each sweep pass is confined to one region, so the access
+        // distribution is skewed towards whichever pages were hot.
+        let share = rec
+            .histogram()
+            .footprint_for_access_share(arena_pages + 1, 0.5);
+        assert!(share <= 0.75, "access skew expected, got {share}");
+    }
+
+    #[test]
+    fn footprint_scales_with_input() {
+        let f1 =
+            PhaseShift::new(PhaseShiftParams::bench(InputScale::X1)).expected_footprint_bytes();
+        let f4 =
+            PhaseShift::new(PhaseShiftParams::bench(InputScale::X4)).expected_footprint_bytes();
+        assert!(f4 > 3 * f1 && f4 < 5 * f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PhaseShift")]
+    fn rejects_region_larger_than_arena() {
+        let _ = PhaseShift::new(PhaseShiftParams {
+            arena_bytes: PAGE_SIZE,
+            region_bytes: 2 * PAGE_SIZE,
+            ..PhaseShiftParams::tiny()
+        });
+    }
+}

@@ -24,6 +24,7 @@ pub use apps::bfs::{Bfs, BfsOptimization, BfsParams};
 pub use apps::hpl::{Hpl, HplParams};
 pub use apps::hypre::{Hypre, HypreParams};
 pub use apps::nekrs::{NekRs, NekRsParams};
+pub use apps::phaseshift::{PhaseShift, PhaseShiftParams};
 pub use apps::superlu::{SuperLu, SuperLuParams};
 pub use apps::xsbench::{XsBench, XsBenchParams};
 pub use workload::{InputScale, Workload, WorkloadKind};

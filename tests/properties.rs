@@ -1,7 +1,8 @@
 //! Property-based tests (proptest) of core invariants across the workspace.
 
 use dismem::analysis::{five_number_summary, percentile, Roofline};
-use dismem::sim::{InterferenceProfile, Machine, MachineConfig, Tier};
+use dismem::sim::tiering::{HotPromote, PeriodicRebalance};
+use dismem::sim::{InterferenceProfile, Machine, MachineConfig, Tier, TieringSpec};
 use dismem::trace::{AccessKind, MemoryEngine, PageHistogram, PlacementPolicy, PAGE_SIZE};
 use proptest::prelude::*;
 
@@ -282,6 +283,236 @@ fn replay_script() -> impl Strategy<Value = Vec<(u8, u64, u64, u64, bool)>> {
     prop::collection::vec((0u8..6, 0u64..64, 1u64..48, 1u64..24, any::<bool>()), 1..16)
 }
 
+/// A hot-promotion policy tuned for the tiny test configuration: epochs every
+/// 2048 application DRAM lines, promote at heat 16, demote under pressure at
+/// heat 4.
+fn test_hot_promote() -> TieringSpec {
+    TieringSpec::HotPromote(HotPromote {
+        demote_heat: 4.0,
+        ..HotPromote::new(2048, 16.0)
+    })
+}
+
+/// Drives a workload body on a machine per (pipeline, tiering spec) and
+/// returns the report plus replay windows.
+fn run_tiered(
+    config: &MachineConfig,
+    spec: Option<&TieringSpec>,
+    pipeline: Pipeline,
+    body: impl Fn(&mut Machine),
+) -> (dismem::sim::RunReport, u64) {
+    let mut m = Machine::new(config.clone());
+    pipeline.configure(&mut m);
+    if let Some(spec) = spec {
+        m.set_tiering_spec(spec);
+    }
+    body(&mut m);
+    let windows = m.replay_windows();
+    (m.finish(), windows)
+}
+
+/// A hot/cold working set under capacity pressure: the cold object fills the
+/// local tier, the hot object spills to the pool entirely and is then
+/// streamed repeatedly in page-misaligned chunks so replay streaks survive
+/// call boundaries while migrations land between the calls.
+fn hot_cold_body(passes: usize, free_hot_at: Option<usize>) -> impl Fn(&mut Machine) {
+    move |m: &mut Machine| {
+        let cold = m.alloc("cold", "t", 40 * PAGE_SIZE);
+        let hot = m.alloc("hot", "t", 48 * PAGE_SIZE);
+        m.phase_start("init");
+        m.touch(cold, 40 * PAGE_SIZE);
+        m.touch(hot, 48 * PAGE_SIZE);
+        m.phase_end();
+        m.phase_start("loop");
+        for pass in 0..passes {
+            // Two chunks per pass with a mid-page boundary: the second call
+            // continues the first's streak, so an epoch firing at the chunk
+            // close between them lands while replay state is live.
+            let split = 17 * PAGE_SIZE + 24 * 64;
+            m.read(hot, 0, split);
+            m.read(hot, split, 48 * PAGE_SIZE - split);
+            if Some(pass) == free_hot_at {
+                m.free(hot);
+                m.phase_end();
+                return;
+            }
+            m.flops(10_000);
+        }
+        m.phase_end();
+    }
+}
+
+/// Migrations landing while the replay engine is armed or replaying must
+/// leave all three pipelines bit-identical: any applied migration hard-resets
+/// the replay engine, and the policy's decisions are pipeline-independent.
+#[test]
+fn tiering_migration_mid_replay_stream_is_exact() {
+    let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+    let spec = test_hot_promote();
+    let body = hot_cold_body(10, None);
+    let (per_line, _) = run_tiered(&config, Some(&spec), Pipeline::PerLine, &body);
+    let (batched, _) = run_tiered(&config, Some(&spec), Pipeline::Batched, &body);
+    let (replay, windows) = run_tiered(&config, Some(&spec), Pipeline::Replay, &body);
+    assert!(windows > 0, "scenario must exercise the replay engine");
+    assert!(
+        per_line.tiering.promotions > 0 && per_line.tiering.demotions > 0,
+        "scenario must migrate: {:?}",
+        per_line.tiering
+    );
+    assert_eq!(batched, per_line, "batched diverged under migrations");
+    assert_eq!(replay, per_line, "replay diverged under migrations");
+}
+
+/// Freeing an object whose pages were partially promoted must release every
+/// page from the tier it currently sits on, on every pipeline.
+#[test]
+fn tiering_free_of_partially_promoted_object_is_exact() {
+    let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+    // A tight move cap keeps the promotion partial when the free lands.
+    let spec = TieringSpec::HotPromote(HotPromote {
+        demote_heat: 4.0,
+        max_moves_per_epoch: 7,
+        ..HotPromote::new(2048, 16.0)
+    });
+    let body = |m: &mut Machine| {
+        hot_cold_body(6, Some(3))(m);
+        // After the free, a fresh allocation reuses the released capacity.
+        let late = m.alloc("late", "t", 24 * PAGE_SIZE);
+        m.phase_start("tail");
+        m.touch(late, 24 * PAGE_SIZE);
+        m.read(late, 0, 24 * PAGE_SIZE);
+        m.phase_end();
+    };
+    let (per_line, _) = run_tiered(&config, Some(&spec), Pipeline::PerLine, body);
+    let (batched, _) = run_tiered(&config, Some(&spec), Pipeline::Batched, body);
+    let (replay, _) = run_tiered(&config, Some(&spec), Pipeline::Replay, body);
+    let t = &per_line.tiering;
+    assert!(
+        t.promotions > 0,
+        "scenario must promote before the free: {t:?}"
+    );
+    let hot = per_line.allocation("hot").unwrap();
+    assert!(hot.freed);
+    assert_eq!(hot.pages_local + hot.pages_pool, 0, "freed pages released");
+    // Tier occupancy stays consistent: only the cold and late objects remain.
+    assert_eq!(
+        per_line.local_pages_used + per_line.pool_pages_used,
+        40 + 24
+    );
+    assert_eq!(batched, per_line);
+    assert_eq!(replay, per_line);
+}
+
+/// Promotions fill the local tier right up to its capacity; a subsequent
+/// first touch that no tier can hold must abort with the same simulated OOM
+/// on every pipeline (migrations never change total occupancy, so the OOM
+/// lands on the same page).
+#[test]
+fn tiering_promotion_then_oom_is_identical_across_pipelines() {
+    let config = MachineConfig::test_config()
+        .with_local_capacity(8 * PAGE_SIZE)
+        .with_pool_capacity(8 * PAGE_SIZE);
+    let spec = TieringSpec::HotPromote(HotPromote {
+        demote_heat: 4.0,
+        ..HotPromote::new(512, 8.0)
+    });
+    for pipeline in [Pipeline::PerLine, Pipeline::Batched, Pipeline::Replay] {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_tiered(&config, Some(&spec), pipeline, |m| {
+                let a = m.alloc("a", "t", 12 * PAGE_SIZE);
+                m.phase_start("p");
+                m.touch(a, 12 * PAGE_SIZE);
+                // Hammer the pool-resident tail until promotions fire.
+                for _ in 0..8 {
+                    m.read(a, 8 * PAGE_SIZE, 4 * PAGE_SIZE);
+                }
+                // 12 + 5 pages exceed the 16 pages of total capacity.
+                let b = m.alloc("b", "t", 5 * PAGE_SIZE);
+                m.touch(b, 5 * PAGE_SIZE);
+                m.phase_end();
+            })
+        }));
+        let err = result.expect_err("over-capacity touch must abort");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"?").to_string());
+        assert!(
+            msg.contains("simulated OOM abort"),
+            "unexpected panic: {msg}"
+        );
+    }
+}
+
+/// The periodic rebalancer is deterministic across pipelines too.
+#[test]
+fn periodic_rebalance_is_exact_across_pipelines() {
+    let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+    let spec = TieringSpec::PeriodicRebalance(PeriodicRebalance::new(2048, 2, 64));
+    let body = hot_cold_body(10, None);
+    let (per_line, _) = run_tiered(&config, Some(&spec), Pipeline::PerLine, &body);
+    let (batched, _) = run_tiered(&config, Some(&spec), Pipeline::Batched, &body);
+    let (replay, _) = run_tiered(&config, Some(&spec), Pipeline::Replay, &body);
+    assert!(per_line.tiering.promotions > 0);
+    assert_eq!(batched, per_line);
+    assert_eq!(replay, per_line);
+}
+
+/// The replay-proptest workload body: long bulk streams (the replay engine's
+/// bread and butter) mixed with gathers, strided sweeps, scalar accesses and
+/// a mid-script free, driven by a random script.
+fn replay_script_body<'a>(script: &'a [(u8, u64, u64, u64, bool)]) -> impl Fn(&mut Machine) + 'a {
+    move |m: &mut Machine| {
+        let obj_pages = 96u64;
+        let a = m.alloc("a", "prop", obj_pages * PAGE_SIZE);
+        let b = m.alloc_with_policy(
+            "b",
+            "prop",
+            obj_pages * PAGE_SIZE,
+            PlacementPolicy::ForceRemote,
+        );
+        let temp = m.alloc("temp", "prop", 8 * PAGE_SIZE);
+        m.phase_start("mixed");
+        m.touch(temp, 8 * PAGE_SIZE);
+        m.touch(a, obj_pages * PAGE_SIZE);
+        for (i, &(op, page, len_pages, count, flag)) in script.iter().enumerate() {
+            let handle = if flag { a } else { b };
+            let kind = if page % 2 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            let offset = (page % obj_pages) * PAGE_SIZE;
+            let len = (len_pages * PAGE_SIZE).min(obj_pages * PAGE_SIZE - offset);
+            match op {
+                0 | 1 => m.access_range(handle, offset, len, kind),
+                2 => {
+                    let offs: Vec<u64> = (0..count)
+                        .map(|k| {
+                            ((page + 3 * k + 7 * k * k) * 2048 + 8 * k)
+                                % (obj_pages * PAGE_SIZE - 8)
+                        })
+                        .collect();
+                    m.gather(handle, &offs, 8);
+                }
+                3 => {
+                    let stride = 64 + (len % 1024);
+                    let count = count.min((obj_pages * PAGE_SIZE - offset) / stride.max(1));
+                    if count > 0 {
+                        m.strided(handle, offset, count, 8, stride, kind);
+                    }
+                }
+                4 => m.flops(len * 1000),
+                _ => m.access(handle, offset, (len % 256).max(1), kind),
+            }
+            if i == script.len() / 2 {
+                m.free(temp);
+            }
+        }
+        m.phase_end();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -291,55 +522,45 @@ proptest! {
     #[test]
     fn replay_execution_is_bit_identical(script in replay_script()) {
         let config = MachineConfig::test_config().with_local_capacity(80 * PAGE_SIZE);
-        let obj_pages = 96u64;
-        let windows = assert_replay_bit_identical(&config, |m| {
-            let a = m.alloc("a", "prop", obj_pages * PAGE_SIZE);
-            let b = m.alloc_with_policy(
-                "b",
-                "prop",
-                obj_pages * PAGE_SIZE,
-                PlacementPolicy::ForceRemote,
-            );
-            let temp = m.alloc("temp", "prop", 8 * PAGE_SIZE);
-            m.phase_start("mixed");
-            m.touch(temp, 8 * PAGE_SIZE);
-            m.touch(a, obj_pages * PAGE_SIZE);
-            for (i, &(op, page, len_pages, count, flag)) in script.iter().enumerate() {
-                let handle = if flag { a } else { b };
-                let kind = if page % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
-                let offset = (page % obj_pages) * PAGE_SIZE;
-                let len = (len_pages * PAGE_SIZE).min(obj_pages * PAGE_SIZE - offset);
-                match op {
-                    // Long bulk range: the replay engine's bread and butter.
-                    0 | 1 => m.access_range(handle, offset, len, kind),
-                    2 => {
-                        let offs: Vec<u64> = (0..count)
-                            .map(|k| {
-                                ((page + 3 * k + 7 * k * k) * 2048 + 8 * k)
-                                    % (obj_pages * PAGE_SIZE - 8)
-                            })
-                            .collect();
-                        m.gather(handle, &offs, 8);
-                    }
-                    3 => {
-                        let stride = 64 + (len % 1024);
-                        let count = count.min((obj_pages * PAGE_SIZE - offset) / stride.max(1));
-                        if count > 0 {
-                            m.strided(handle, offset, count, 8, stride, kind);
-                        }
-                    }
-                    4 => m.flops(len * 1000),
-                    _ => m.access(handle, offset, (len % 256).max(1), kind),
-                }
-                if i == script.len() / 2 {
-                    m.free(temp);
-                }
-            }
-            m.phase_end();
-        });
+        let windows = assert_replay_bit_identical(&config, replay_script_body(&script));
         // Not every random script reaches steady state; the deterministic
         // tests above pin engagement. This one pins only equivalence.
         let _ = windows;
+    }
+
+    /// Installing the `Static` tiering policy must be indistinguishable — to
+    /// the bit, across all three pipelines — from never touching the tiering
+    /// subsystem: today's first-touch pinning is the reference behaviour.
+    #[test]
+    fn static_tiering_is_bit_identical_to_untiered(script in replay_script()) {
+        let config = MachineConfig::test_config().with_local_capacity(80 * PAGE_SIZE);
+        let body = replay_script_body(&script);
+        let mut reports = Vec::new();
+        for pipeline in [Pipeline::PerLine, Pipeline::Batched, Pipeline::Replay] {
+            for spec in [None, Some(TieringSpec::Static)] {
+                reports.push(run_tiered(&config, spec.as_ref(), pipeline, &body).0);
+            }
+        }
+        prop_assert_eq!(&reports[0].tiering, &dismem::sim::TieringReport::default());
+        let (first, rest) = reports.split_first().unwrap();
+        for r in rest {
+            prop_assert_eq!(r, first);
+        }
+    }
+
+    /// Dynamic tiering itself is deterministic and pipeline-independent:
+    /// arbitrary scripts under an aggressive hot-promotion policy produce
+    /// bit-identical reports on all three pipelines.
+    #[test]
+    fn hot_promote_is_bit_identical_across_pipelines(script in replay_script()) {
+        let config = MachineConfig::test_config().with_local_capacity(80 * PAGE_SIZE);
+        let spec = test_hot_promote();
+        let body = replay_script_body(&script);
+        let (per_line, _) = run_tiered(&config, Some(&spec), Pipeline::PerLine, &body);
+        let (batched, _) = run_tiered(&config, Some(&spec), Pipeline::Batched, &body);
+        let (replay, _) = run_tiered(&config, Some(&spec), Pipeline::Replay, &body);
+        prop_assert_eq!(&batched, &per_line);
+        prop_assert_eq!(&replay, &per_line);
     }
 }
 
