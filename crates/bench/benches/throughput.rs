@@ -306,7 +306,7 @@ fn main() {
                     format!("{:.2}x", o.speedup_vs_static),
                     format!("{:.2}x", o.loaded_speedup_vs_static),
                     format!("{:.1}%", o.remote_access_ratio * 100.0),
-                    format!("{}", o.promotions + o.demotions),
+                    format!("{}", o.tiering.migrated_pages),
                     format!(
                         "{:.1}",
                         o.migration_link_raw_bytes as f64 / (1 << 20) as f64

@@ -12,8 +12,12 @@
 //! * Applications with low interference sensitivity can lean on the pool and
 //!   use fewer nodes; highly sensitive ones should minimise pool exposure
 //!   (more nodes, or explicit local placement).
+//! * Whether to *move pages at runtime* is decided by the measured
+//!   phase-dwell: how long a hot working set stays put is the window a page
+//!   migration has to amortize in (see [`derive_migration_advice`]).
 
 use dismem_profiler::{Level2Report, Level3Report};
+use dismem_sim::TieringReport;
 use serde::{Deserialize, Serialize};
 
 /// Application-level data-placement priority.
@@ -46,7 +50,55 @@ pub enum DeploymentAdvice {
     MinimisePoolExposure,
 }
 
+/// How a workload whose footprint exceeds local capacity should be deployed
+/// on pooled memory *over time*: migrate pages at runtime, settle for a
+/// static interleave, or pin the (stable) hot set locally once.
+///
+/// Derived from the measured phase-dwell of the workload's hot working set
+/// (see [`derive_migration_advice`]) — the TPP/AutoNUMA-style policy space
+/// the simulator's `HotPromote`/`PeriodicRebalance` tiering policies model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationAdvice {
+    /// The hot set moves, but dwells long enough that a page migration
+    /// amortizes: run a tiering daemon (hot-promotion style).
+    Migrate,
+    /// The hot set moves faster than migrations can pay for themselves: a
+    /// static interleave across the tiers is the robust choice, and a tiering
+    /// daemon would mostly generate ping-pong traffic.
+    Interleave,
+    /// The hot set never moved during the run: spend the effort on one-off
+    /// placement (allocation order or explicit local allocation of the hot
+    /// objects) instead of any runtime machinery.
+    PinLocal,
+}
+
 /// Combined guidance for one workload on one tier configuration.
+///
+/// ```
+/// use dismem_core::{DeploymentAdvice, Guidance, MigrationAdvice, PlacementPriority};
+/// use dismem_sim::TieringReport;
+///
+/// // A run measured with a dynamic tiering policy: the hot set moved three
+/// // times, dwelling three epochs on average — long enough to amortize a
+/// // page migration.
+/// let measured = TieringReport {
+///     epochs: 12,
+///     hot_set_shifts: 3,
+///     dwell_epochs_total: 9,
+///     open_dwell_epochs: 3,
+///     ..TieringReport::default()
+/// };
+/// let guidance = Guidance {
+///     placement: PlacementPriority::LittleOpportunity,
+///     deployment: DeploymentAdvice::LeveragePoolCapacity,
+///     max_slowdown_percent: 1.5,
+///     notes: Vec::new(),
+///     migration: None,
+/// }
+/// .with_migration_advice(&measured);
+/// assert_eq!(guidance.migration, Some(MigrationAdvice::Migrate));
+/// assert!(guidance.notes.last().unwrap().contains("dwells"));
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Guidance {
     /// Application-level placement priority.
@@ -58,6 +110,41 @@ pub struct Guidance {
     pub max_slowdown_percent: f64,
     /// Human-readable notes explaining the decision.
     pub notes: Vec<String>,
+    /// Migrate-vs-interleave advice, when a dwell-measuring tiering run is
+    /// available ([`Guidance::with_migration_advice`]). `None` for guidance
+    /// derived from profiling runs alone.
+    pub migration: Option<MigrationAdvice>,
+}
+
+impl Guidance {
+    /// Attaches a [`MigrationAdvice`] derived from a dwell-measuring tiering
+    /// run (see [`derive_migration_advice`]), with an explanatory note. A
+    /// report without measured epochs leaves the guidance unchanged.
+    pub fn with_migration_advice(mut self, tiering: &TieringReport) -> Self {
+        let Some(advice) = derive_migration_advice(tiering) else {
+            return self;
+        };
+        let dwell = tiering.mean_dwell_epochs();
+        self.notes.push(match advice {
+            MigrationAdvice::Migrate => format!(
+                "the hot set moved {} time(s) but dwells {dwell:.1} epochs on average — \
+                 long enough for page migration to amortize; run a hot-promotion daemon",
+                tiering.hot_set_shifts
+            ),
+            MigrationAdvice::Interleave => format!(
+                "the hot set moved {} time(s), dwelling only {dwell:.1} epochs on average — \
+                 migrations cannot pay for themselves; interleave statically across the tiers",
+                tiering.hot_set_shifts
+            ),
+            MigrationAdvice::PinLocal => format!(
+                "the hot set ({} page(s) at peak) never moved during {} measured epoch(s) — \
+                 pin it locally at allocation time instead of running migration machinery",
+                tiering.hot_set_pages_max, tiering.epochs
+            ),
+        });
+        self.migration = Some(advice);
+        self
+    }
 }
 
 /// Sensitivity thresholds (percent slowdown at the highest LoI) separating
@@ -65,6 +152,55 @@ pub struct Guidance {
 pub const LOW_SENSITIVITY_PERCENT: f64 = 3.0;
 /// Above this slowdown the workload should avoid the pool where possible.
 pub const HIGH_SENSITIVITY_PERCENT: f64 = 10.0;
+
+/// Minimum mean phase-dwell (in hotness epochs) at which runtime page
+/// migration amortizes. A promotion needs one epoch of observed heat before
+/// it can fire, so a dwell must outlast that detection latency *and* leave at
+/// least one more epoch of locally served traffic to repay the page move —
+/// below two epochs the daemon is always one phase behind the workload.
+pub const MIGRATE_MIN_DWELL_EPOCHS: f64 = 2.0;
+
+/// Derives the migrate-vs-interleave rule from a measured tiering run.
+///
+/// Returns `None` when the run measured no hotness epochs (e.g. the `static`
+/// policy) — there is no dwell evidence to decide on. Otherwise:
+///
+/// * the hot set never shifted → [`MigrationAdvice::PinLocal`];
+/// * mean dwell ≥ [`MIGRATE_MIN_DWELL_EPOCHS`] → [`MigrationAdvice::Migrate`];
+/// * shorter dwells → [`MigrationAdvice::Interleave`].
+///
+/// ```
+/// use dismem_core::{derive_migration_advice, MigrationAdvice};
+/// use dismem_sim::TieringReport;
+///
+/// // No measurement: static runs never fire epochs.
+/// assert_eq!(derive_migration_advice(&TieringReport::default()), None);
+///
+/// // A hot set that thrashes every epoch cannot amortize migrations.
+/// let thrashing = TieringReport {
+///     epochs: 8,
+///     hot_set_shifts: 7,
+///     dwell_epochs_total: 7,
+///     open_dwell_epochs: 1,
+///     ..TieringReport::default()
+/// };
+/// assert_eq!(
+///     derive_migration_advice(&thrashing),
+///     Some(MigrationAdvice::Interleave)
+/// );
+/// ```
+pub fn derive_migration_advice(tiering: &TieringReport) -> Option<MigrationAdvice> {
+    if tiering.epochs == 0 {
+        return None;
+    }
+    Some(if tiering.hot_set_shifts == 0 {
+        MigrationAdvice::PinLocal
+    } else if tiering.mean_dwell_epochs() >= MIGRATE_MIN_DWELL_EPOCHS {
+        MigrationAdvice::Migrate
+    } else {
+        MigrationAdvice::Interleave
+    })
+}
 
 /// Derives guidance from Level-2 and Level-3 reports of the same
 /// configuration.
@@ -132,6 +268,7 @@ pub fn derive_guidance(level2: &Level2Report, level3: &Level3Report) -> Guidance
         deployment,
         max_slowdown_percent: slowdown,
         notes,
+        migration: None,
     }
 }
 
@@ -232,5 +369,59 @@ mod tests {
     fn slowdown_is_recorded() {
         let g = derive_guidance(&level2(0.25, 0.2), &level3(7.5));
         assert!((g.max_slowdown_percent - 7.5).abs() < 0.2);
+        assert_eq!(g.migration, None, "profiling runs carry no dwell evidence");
+    }
+
+    fn dwell_report(epochs: u64, shifts: u64, completed: u64, open: u64) -> TieringReport {
+        TieringReport {
+            epochs,
+            hot_set_shifts: shifts,
+            dwell_epochs_total: completed,
+            open_dwell_epochs: open,
+            hot_set_pages_max: 64,
+            ..TieringReport::default()
+        }
+    }
+
+    #[test]
+    fn migration_advice_follows_measured_dwell() {
+        // No epochs: no evidence, no advice.
+        assert_eq!(derive_migration_advice(&dwell_report(0, 0, 0, 0)), None);
+        // Stable hot set: one-off placement beats runtime machinery.
+        assert_eq!(
+            derive_migration_advice(&dwell_report(10, 0, 0, 10)),
+            Some(MigrationAdvice::PinLocal)
+        );
+        // Long dwells: migration amortizes.
+        assert_eq!(
+            derive_migration_advice(&dwell_report(12, 3, 9, 3)),
+            Some(MigrationAdvice::Migrate)
+        );
+        // Thrashing hot set: dwell below the break-even threshold.
+        assert_eq!(
+            derive_migration_advice(&dwell_report(8, 7, 7, 1)),
+            Some(MigrationAdvice::Interleave)
+        );
+        // Exactly at the threshold counts as amortizing.
+        assert_eq!(
+            derive_migration_advice(&dwell_report(8, 2, 4, 0)),
+            Some(MigrationAdvice::Migrate)
+        );
+    }
+
+    #[test]
+    fn with_migration_advice_attaches_advice_and_note() {
+        let base = derive_guidance(&level2(0.25, 0.2), &level3(5.0));
+        let notes_before = base.notes.len();
+        let g = base
+            .clone()
+            .with_migration_advice(&dwell_report(12, 3, 9, 3));
+        assert_eq!(g.migration, Some(MigrationAdvice::Migrate));
+        assert_eq!(g.notes.len(), notes_before + 1);
+        // A measurement-free report leaves the guidance untouched.
+        let unchanged = base
+            .clone()
+            .with_migration_advice(&TieringReport::default());
+        assert_eq!(unchanged, base);
     }
 }

@@ -26,10 +26,15 @@
 //! let _ = guidance;
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod case_bfs;
 pub mod guidance;
 pub mod study;
 
 pub use case_bfs::{bfs_placement_study, BfsCaseStudy, BfsVariantResult};
-pub use guidance::{derive_guidance, DeploymentAdvice, Guidance, PlacementPriority};
+pub use guidance::{
+    derive_guidance, derive_migration_advice, DeploymentAdvice, Guidance, MigrationAdvice,
+    PlacementPriority,
+};
 pub use study::{QuantitativeStudy, StudyReport};

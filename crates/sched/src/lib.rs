@@ -21,6 +21,8 @@
 //! (static / hot-promote / periodic-rebalance) and each placement is then
 //! priced under the interference campaigns above.
 
+#![warn(missing_docs)]
+
 pub mod campaign;
 pub mod policy;
 pub mod tiering;
@@ -28,5 +30,6 @@ pub mod tiering;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, PolicyComparison};
 pub use policy::SchedulingPolicy;
 pub use tiering::{
-    default_specs, run_with_tiering, sweep_tiering_policies, TieringOutcome, TieringSweep,
+    default_specs, run_with_tiering, sweep_tiering_matrix, sweep_tiering_policies,
+    CapacityTieringSweep, TieringOutcome, TieringSweep, WorkloadTieringStudy,
 };

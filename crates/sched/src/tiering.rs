@@ -12,8 +12,9 @@
 
 use crate::campaign::{run_campaign_sequential, CampaignConfig};
 use crate::policy::SchedulingPolicy;
+use dismem_profiler::pooled_config;
 use dismem_sim::tiering::{HotPromote, PeriodicRebalance};
-use dismem_sim::{Machine, MachineConfig, RunReport, TieringSpec};
+use dismem_sim::{Machine, MachineConfig, RunReport, TieringReport, TieringSpec};
 use dismem_workloads::Workload;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -36,16 +37,13 @@ pub struct TieringOutcome {
     pub loaded_speedup_vs_static: f64,
     /// Remote access ratio of the run (application traffic only).
     pub remote_access_ratio: f64,
-    /// Hotness epochs completed.
-    pub epochs: u64,
-    /// Pages promoted pool → local.
-    pub promotions: u64,
-    /// Pages demoted local → pool.
-    pub demotions: u64,
-    /// Payload bytes moved by migrations.
-    pub migrated_bytes: u64,
-    /// Migrations suppressed by the ping-pong damper.
-    pub ping_pongs_damped: u64,
+    /// Full tiering activity of the run: epochs, promotions/demotions,
+    /// migrated bytes, damper statistics and the measured phase-dwell
+    /// counters (`hot_set_shifts`, `dwell_epochs_total`, ...).
+    pub tiering: TieringReport,
+    /// Mean phase-dwell length in epochs ([`TieringReport::mean_dwell_epochs`]
+    /// of `tiering`, denormalized for tables and committed JSON).
+    pub mean_dwell_epochs: f64,
     /// Raw link bytes spent on migrations (payload × protocol overhead).
     pub migration_link_raw_bytes: u64,
     /// Total raw link bytes of the run (application + migrations).
@@ -74,6 +72,107 @@ impl TieringSweep {
         self.outcomes
             .iter()
             .min_by(|a, b| a.runtime_s.total_cmp(&b.runtime_s))
+    }
+
+    /// The first outcome that actually measured hotness epochs (and with
+    /// them the phase-dwell counters) — the run to derive dwell-based
+    /// guidance from. `None` when only static policies were swept.
+    pub fn measured(&self) -> Option<&TieringOutcome> {
+        self.outcomes.iter().find(|o| o.tiering.epochs > 0)
+    }
+}
+
+/// One local-capacity point of a workload's tiering study: the policy sweep
+/// under a `pooled_config` whose local tier holds `local_fraction` of the
+/// workload's expected footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityTieringSweep {
+    /// Fraction of the expected footprint that fits in the local tier.
+    pub local_fraction: f64,
+    /// The resulting local-tier capacity in bytes.
+    pub local_capacity_bytes: u64,
+    /// The policy sweep at this capacity.
+    pub sweep: TieringSweep,
+}
+
+/// A full dynamic-tiering study of one workload: policy sweeps across a set
+/// of local-capacity fractions (the paper's `setup_waste` points), produced
+/// by [`sweep_tiering_matrix`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadTieringStudy {
+    /// Workload name.
+    pub workload: String,
+    /// Input description.
+    pub input: String,
+    /// Expected peak footprint the capacities were derived from.
+    pub footprint_bytes: u64,
+    /// One policy sweep per local-capacity fraction, in request order.
+    pub cells: Vec<CapacityTieringSweep>,
+}
+
+impl WorkloadTieringStudy {
+    /// The cell closest to `local_fraction`.
+    pub fn cell_at(&self, local_fraction: f64) -> Option<&CapacityTieringSweep> {
+        self.cells.iter().min_by(|a, b| {
+            (a.local_fraction - local_fraction)
+                .abs()
+                .total_cmp(&(b.local_fraction - local_fraction).abs())
+        })
+    }
+
+    /// The dwell-measuring outcome ([`TieringSweep::measured`]) of the cell
+    /// closest to `local_fraction` — the measurement the migrate-vs-interleave
+    /// guidance rule is derived from.
+    pub fn measured_at(&self, local_fraction: f64) -> Option<&TieringOutcome> {
+        self.cell_at(local_fraction)
+            .and_then(|c| c.sweep.measured())
+    }
+
+    /// Best idle-pool speedup over static any dynamic policy achieved in any
+    /// cell (1.0 when nothing beats static anywhere).
+    pub fn best_speedup_vs_static(&self) -> f64 {
+        self.cells
+            .iter()
+            .flat_map(|c| c.sweep.outcomes.iter())
+            .map(|o| o.speedup_vs_static)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Runs the full per-policy × per-local-capacity campaign for one workload:
+/// for every fraction in `local_fractions`, the machine is derived with
+/// [`dismem_profiler::pooled_config`] (local tier = fraction × expected
+/// footprint, the paper's `setup_waste` step) and every spec in `specs` is
+/// re-simulated and priced under the Monte Carlo interference campaign.
+///
+/// Cells run sequentially; within a cell the policy simulations fan out on
+/// the thread pool ([`sweep_tiering_policies`]), which keeps the CPU busy
+/// without nesting scoped-thread fan-outs. The result is deterministic for a
+/// given `(workload, base, local_fractions, specs, campaign)` input.
+pub fn sweep_tiering_matrix(
+    workload: &dyn Workload,
+    base: &MachineConfig,
+    local_fractions: &[f64],
+    specs: &[TieringSpec],
+    campaign: &CampaignConfig,
+) -> WorkloadTieringStudy {
+    let cells = local_fractions
+        .iter()
+        .map(|&local_fraction| {
+            let config = pooled_config(base, workload, local_fraction);
+            let local_capacity_bytes = config.local.capacity_bytes.unwrap_or(0);
+            CapacityTieringSweep {
+                local_fraction,
+                local_capacity_bytes,
+                sweep: sweep_tiering_policies(workload, &config, specs, campaign),
+            }
+        })
+        .collect();
+    WorkloadTieringStudy {
+        workload: workload.name().to_string(),
+        input: workload.input_description(),
+        footprint_bytes: workload.expected_footprint_bytes(),
+        cells,
     }
 }
 
@@ -106,6 +205,27 @@ pub fn run_with_tiering(
 /// Sweeps `specs` for one workload: one full simulation per policy (in
 /// parallel), followed by a sequential interference campaign per run. The
 /// result is deterministic for a given `(config, specs, campaign)` input.
+///
+/// ```
+/// use dismem_sched::{default_specs, sweep_tiering_policies, CampaignConfig};
+/// use dismem_sim::MachineConfig;
+/// use dismem_workloads::{PhaseShift, PhaseShiftParams};
+///
+/// let workload = PhaseShift::new(PhaseShiftParams::tiny());
+/// // Local tier holds half the arena: static placement is the 1:1 interleave.
+/// let config = MachineConfig::test_config()
+///     .with_local_capacity(workload.params().arena_bytes / 2 + 8192);
+/// let campaign = CampaignConfig { runs: 8, epochs_per_run: 4, seed: 7 };
+/// let sweep = sweep_tiering_policies(
+///     &workload,
+///     &config,
+///     &default_specs(2048, 12.0),
+///     &campaign,
+/// );
+/// assert_eq!(sweep.outcomes.len(), 3); // static, hot-promote, periodic-rebalance
+/// let hot = sweep.measured().expect("dynamic policies measure dwell");
+/// assert!(hot.tiering.epochs > 0 && hot.mean_dwell_epochs > 0.0);
+/// ```
 pub fn sweep_tiering_policies(
     workload: &dyn Workload,
     config: &MachineConfig,
@@ -139,30 +259,24 @@ pub fn sweep_tiering_policies(
         .iter()
         .zip(&reports)
         .zip(&means)
-        .map(|((spec, report), &mean_loaded)| {
-            let t = &report.tiering;
-            TieringOutcome {
-                policy: t.policy.clone(),
-                spec: *spec,
-                runtime_s: report.total_runtime_s,
-                speedup_vs_static: match static_runtime {
-                    Some(s) if report.total_runtime_s > 0.0 => s / report.total_runtime_s,
-                    _ => 1.0,
-                },
-                mean_loaded_runtime_s: mean_loaded,
-                loaded_speedup_vs_static: match static_mean {
-                    Some(s) if mean_loaded > 0.0 => s / mean_loaded,
-                    _ => 1.0,
-                },
-                remote_access_ratio: report.remote_access_ratio(),
-                epochs: t.epochs,
-                promotions: t.promotions,
-                demotions: t.demotions,
-                migrated_bytes: t.migrated_bytes,
-                ping_pongs_damped: t.ping_pongs_damped,
-                migration_link_raw_bytes: report.migration_link_raw_bytes(),
-                link_raw_bytes: report.total.link_raw_bytes,
-            }
+        .map(|((spec, report), &mean_loaded)| TieringOutcome {
+            policy: report.tiering.policy.clone(),
+            spec: *spec,
+            runtime_s: report.total_runtime_s,
+            speedup_vs_static: match static_runtime {
+                Some(s) if report.total_runtime_s > 0.0 => s / report.total_runtime_s,
+                _ => 1.0,
+            },
+            mean_loaded_runtime_s: mean_loaded,
+            loaded_speedup_vs_static: match static_mean {
+                Some(s) if mean_loaded > 0.0 => s / mean_loaded,
+                _ => 1.0,
+            },
+            remote_access_ratio: report.remote_access_ratio(),
+            mean_dwell_epochs: report.tiering.mean_dwell_epochs(),
+            tiering: report.tiering.clone(),
+            migration_link_raw_bytes: report.migration_link_raw_bytes(),
+            link_raw_bytes: report.total.link_raw_bytes,
         })
         .collect();
     TieringSweep {
@@ -203,7 +317,8 @@ mod tests {
         let sweep = sweep_tiering_policies(&workload, &config, &specs, &small_campaign());
         assert_eq!(sweep.outcomes.len(), 3);
         let st = sweep.static_outcome().expect("static swept");
-        assert_eq!(st.promotions + st.demotions, 0);
+        assert_eq!(st.tiering.promotions + st.tiering.demotions, 0);
+        assert_eq!(st.mean_dwell_epochs, 0.0, "static runs measure no dwell");
         assert!((st.speedup_vs_static - 1.0).abs() < 1e-12);
 
         let hot = sweep
@@ -211,9 +326,21 @@ mod tests {
             .iter()
             .find(|o| o.policy == "hot-promote")
             .unwrap();
-        assert!(hot.promotions > 0, "hot-promote must migrate: {hot:?}");
-        assert!(hot.migrated_bytes > 0);
-        assert!(hot.migration_link_raw_bytes > hot.migrated_bytes);
+        assert!(
+            hot.tiering.promotions > 0,
+            "hot-promote must migrate: {hot:?}"
+        );
+        assert!(hot.tiering.migrated_bytes > 0);
+        assert!(hot.migration_link_raw_bytes > hot.tiering.migrated_bytes);
+        // The phase-shifting workload's hot set moves: the dwell counters
+        // must see the shifts and the sweep's measured() lookup finds them.
+        assert!(hot.tiering.hot_set_shifts > 0, "hot set must move: {hot:?}");
+        assert!(hot.mean_dwell_epochs > 0.0);
+        assert_eq!(
+            sweep.measured().unwrap().policy,
+            "hot-promote",
+            "first measuring outcome is the first dynamic policy"
+        );
         assert!(
             hot.speedup_vs_static > 1.02,
             "hot-promote should beat static: {}",
@@ -234,9 +361,46 @@ mod tests {
         for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
             assert_eq!(x.runtime_s, y.runtime_s);
             assert_eq!(x.mean_loaded_runtime_s, y.mean_loaded_runtime_s);
-            assert_eq!(x.promotions, y.promotions);
-            assert_eq!(x.demotions, y.demotions);
+            assert_eq!(x.tiering, y.tiering);
         }
+    }
+
+    #[test]
+    fn matrix_sweeps_every_capacity_point() {
+        let workload = PhaseShift::new(PhaseShiftParams::tiny());
+        let base = MachineConfig::test_config();
+        let specs = default_specs(2048, 12.0);
+        let study = sweep_tiering_matrix(
+            &workload,
+            &base,
+            &[0.75, 0.5, 0.25],
+            &specs,
+            &small_campaign(),
+        );
+        assert_eq!(study.workload, "PhaseShift");
+        assert_eq!(study.cells.len(), 3);
+        for cell in &study.cells {
+            assert_eq!(cell.sweep.outcomes.len(), 3);
+            assert!(cell.local_capacity_bytes > 0);
+            assert!(cell.local_capacity_bytes < study.footprint_bytes);
+        }
+        // Capacities shrink with the fraction.
+        assert!(study.cells[0].local_capacity_bytes > study.cells[2].local_capacity_bytes);
+        // Tighter local capacity pushes the static remote ratio up.
+        let remote = |i: usize| {
+            study.cells[i]
+                .sweep
+                .static_outcome()
+                .unwrap()
+                .remote_access_ratio
+        };
+        assert!(remote(2) > remote(0));
+        // Lookup helpers find the right cell and a dwell-measuring outcome.
+        let mid = study.cell_at(0.5).unwrap();
+        assert!((mid.local_fraction - 0.5).abs() < 1e-12);
+        let measured = study.measured_at(0.5).unwrap();
+        assert!(measured.tiering.epochs > 0);
+        assert!(study.best_speedup_vs_static() >= 1.0);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! runtimes, a traffic timeline, per-object placement and a page-access
 //! histogram — exactly the observables the paper's three-level methodology
 //! consumes.
+//!
+//! The invariants the simulator's three execution pipelines (per-line,
+//! batched, replay) and the dynamic-tiering subsystem must preserve are
+//! documented in `docs/ARCHITECTURE.md` at the repository root.
+
+#![warn(missing_docs)]
 
 pub mod address_space;
 pub mod cache;

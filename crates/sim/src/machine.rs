@@ -432,6 +432,10 @@ impl Machine {
             migrated_bytes: migrated_pages * dismem_trace::PAGE_SIZE,
             ping_pongs_damped: s.ping_pongs_damped,
             skipped_capacity: s.skipped_capacity,
+            hot_set_shifts: s.hot_set_shifts,
+            dwell_epochs_total: s.dwell_epochs_total,
+            open_dwell_epochs: s.open_dwell_epochs,
+            hot_set_pages_max: s.hot_set_pages_max,
         }
     }
 
@@ -495,7 +499,22 @@ impl Machine {
         let Some(tracker) = self.space.hotness_mut() else {
             return;
         };
-        tracker.end_epoch();
+        let dwell = tracker.end_epoch();
+        {
+            // Phase-dwell bookkeeping: each epoch extends the open dwell, and
+            // a hot-set shift closes it (the new hot set starts a dwell of
+            // one epoch). An epoch whose hot set vanished entirely leaves no
+            // open dwell behind.
+            let s = &mut self.tiering.stats;
+            s.hot_set_pages_max = s.hot_set_pages_max.max(dwell.pages);
+            if dwell.shifted {
+                s.hot_set_shifts += 1;
+                s.dwell_epochs_total += s.open_dwell_epochs;
+                s.open_dwell_epochs = u64::from(dwell.pages > 0);
+            } else if dwell.pages > 0 {
+                s.open_dwell_epochs += 1;
+            }
+        }
         self.tiering.epoch += 1;
         let epoch = self.tiering.epoch;
         let cooldown = self.tiering.policy.cooldown_epochs();
@@ -1171,6 +1190,17 @@ mod tests {
         let t = &promoted.tiering;
         assert_eq!(t.policy, "hot-promote");
         assert!(t.epochs > 0, "epochs must fire: {t:?}");
+        // One hot-set shift at most: the init pass (touching both objects)
+        // forms its own hot set, and the loop's contraction to the hot object
+        // may close it. From then on the hot set is stable, so the run ends
+        // in a long open dwell.
+        assert!(
+            t.hot_set_shifts <= 1,
+            "stable hot set must not thrash: {t:?}"
+        );
+        assert!(t.open_dwell_epochs > 0, "dwell must be measured: {t:?}");
+        assert!(t.hot_set_pages_max > 0);
+        assert!(t.mean_dwell_epochs() >= 1.0);
         assert!(t.promotions > 0, "hot pool pages must be promoted: {t:?}");
         assert!(t.demotions > 0, "cold local pages must make room: {t:?}");
         assert_eq!(t.migrated_pages, t.promotions + t.demotions);

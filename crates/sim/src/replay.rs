@@ -12,6 +12,12 @@
 //! handed to the [`DramSink`] as page-granular bulk events, and the set scans
 //! are skipped entirely.
 //!
+//! The load-bearing contracts this engine must uphold — bit-identity with
+//! the per-line and batched pipelines, and the interaction rules with the
+//! dynamic-tiering subsystem (epochs only at chunk closes, migrations
+//! hard-reset replay) — are spelled out in `docs/ARCHITECTURE.md` at the
+//! repository root; `tests/properties.rs` enforces them.
+//!
 //! # Windows, not single pages
 //!
 //! Consecutive pages map to *different* cache sets: with `S` sets and 64

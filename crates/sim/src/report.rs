@@ -130,6 +130,37 @@ pub struct TieringReport {
     pub ping_pongs_damped: u64,
     /// Migrations dropped because the destination tier was full.
     pub skipped_capacity: u64,
+    /// Times the hot set moved to a different set of pages (no strict
+    /// majority of the dwell's anchor hot set still hot at an epoch
+    /// boundary).
+    pub hot_set_shifts: u64,
+    /// Epochs spent in *completed* phase dwells — dwells that ended with a
+    /// hot-set shift. One dwell is the number of consecutive epochs a hot
+    /// working set stayed put.
+    pub dwell_epochs_total: u64,
+    /// Epochs of the still-open dwell at the end of the run (the final hot
+    /// set's residency, not yet closed by a shift).
+    pub open_dwell_epochs: u64,
+    /// Largest hot set observed at any epoch boundary, in pages.
+    pub hot_set_pages_max: u64,
+}
+
+impl TieringReport {
+    /// Mean phase-dwell length in epochs: how long a hot working set stays
+    /// put before it moves, averaged over every dwell of the run (the open
+    /// dwell at the end of the run counts as one sample). Returns 0.0 when no
+    /// epoch ever observed a hot set — e.g. under the `static` policy, which
+    /// never fires epochs.
+    ///
+    /// This is the measured quantity behind the migrate-vs-interleave
+    /// guidance rule: a page migration can only amortize within one dwell.
+    pub fn mean_dwell_epochs(&self) -> f64 {
+        let dwells = self.hot_set_shifts + u64::from(self.open_dwell_epochs > 0);
+        if dwells == 0 {
+            return 0.0;
+        }
+        (self.dwell_epochs_total + self.open_dwell_epochs) as f64 / dwells as f64
+    }
 }
 
 impl Default for TieringReport {
@@ -143,6 +174,10 @@ impl Default for TieringReport {
             migrated_bytes: 0,
             ping_pongs_damped: 0,
             skipped_capacity: 0,
+            hot_set_shifts: 0,
+            dwell_epochs_total: 0,
+            open_dwell_epochs: 0,
+            hot_set_pages_max: 0,
         }
     }
 }
@@ -369,6 +404,23 @@ mod tests {
         assert!(r.phase("nope").is_none());
         assert!(r.measured_loi() > 0.0);
         assert!(r.gflops() > 0.0);
+    }
+
+    #[test]
+    fn mean_dwell_counts_completed_and_open_dwells() {
+        let mut t = TieringReport::default();
+        assert_eq!(t.mean_dwell_epochs(), 0.0, "no epochs, no dwell");
+        t.hot_set_shifts = 2;
+        t.dwell_epochs_total = 6;
+        t.open_dwell_epochs = 3;
+        // Two completed dwells (6 epochs) plus the open one (3 epochs).
+        assert!((t.mean_dwell_epochs() - 3.0).abs() < 1e-12);
+        // A run whose hot set never moved: the open dwell is the only sample.
+        let stable = TieringReport {
+            open_dwell_epochs: 8,
+            ..TieringReport::default()
+        };
+        assert!((stable.mean_dwell_epochs() - 8.0).abs() < 1e-12);
     }
 
     #[test]

@@ -47,14 +47,26 @@
 //! an armed snapshot) is dropped before the next walk starts. With the
 //! [`Static`] policy no epoch ever fires and the machine is bit-identical to
 //! the pre-tiering simulator.
+//!
+//! Both contracts — the epoch/chunk-close rule and the migration/replay
+//! hard-reset — are part of the workspace-wide invariants documented in
+//! `docs/ARCHITECTURE.md` at the repository root and enforced by
+//! `tests/properties.rs`.
 
 use crate::address_space::Tier;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Heat scores below this are pruned at epoch boundaries, keeping the tracker
 /// O(recently touched pages).
 const HEAT_FLOOR: f64 = 1e-3;
+
+/// A page belongs to the epoch's *hot set* when its decayed score is at least
+/// this fraction of the epoch's maximum score. Fraction-of-max membership is
+/// scale-invariant: an epoch without traffic decays every score (and the
+/// maximum) by the same factor, so the hot set — and therefore the dwell
+/// clock — only moves when the access pattern actually moves.
+const HOT_SET_FRACTION: f64 = 0.5;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct PageHeat {
@@ -67,6 +79,31 @@ struct PageHeat {
     cur_lines: u64,
 }
 
+/// One epoch's hot-set observation, returned by [`HotnessTracker::end_epoch`]
+/// and folded into the run's phase-dwell statistics by the machine.
+///
+/// The *hot set* is the set of pages whose decayed score is within
+/// half (`HOT_SET_FRACTION`) of the epoch's maximum. Each dwell is
+/// *anchored* on
+/// the hot set observed when it started, and the hot set *shifts* — closing
+/// the dwell — once a strict majority of the anchor's pages is no longer hot.
+/// Anchoring against the dwell's start (rather than the previous epoch)
+/// makes the detector robust to gradual hand-overs: a working set that
+/// migrates region by region still registers a shift once most of the
+/// original set has gone cold, while epoch-over-epoch comparison would never
+/// see the overlap drop. The number of epochs between two shifts is one
+/// *phase dwell* — the time a hot working set stays put, which is exactly
+/// the window a page migration has to amortize in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotSetDelta {
+    /// Pages in the hot set as of the epoch that just completed.
+    pub pages: u64,
+    /// Whether the hot set moved away from the current dwell's anchor set
+    /// (no strict majority of the anchor's pages is still hot). Always `false`
+    /// while no dwell is open (no hot set has been observed yet).
+    pub shifted: bool,
+}
+
 /// Epoch-based per-page hotness tracker with exponential decay.
 ///
 /// `record` is O(1) per (page, lines) batch; `end_epoch` is O(tracked pages),
@@ -77,6 +114,9 @@ pub struct HotnessTracker {
     decay: f64,
     epochs_completed: u64,
     heat: HashMap<u64, PageHeat>,
+    /// Anchor hot set of the open dwell (the hot set observed when the dwell
+    /// started), kept to detect hot-set shifts. Empty while no dwell is open.
+    anchor_hot: HashSet<u64>,
 }
 
 impl HotnessTracker {
@@ -91,6 +131,7 @@ impl HotnessTracker {
             decay,
             epochs_completed: 0,
             heat: HashMap::new(),
+            anchor_hot: HashSet::new(),
         }
     }
 
@@ -102,8 +143,13 @@ impl HotnessTracker {
     }
 
     /// Completes the current epoch: folds the epoch's integer line counts
-    /// into the decayed scores and prunes pages that have gone cold.
-    pub fn end_epoch(&mut self) {
+    /// into the decayed scores, prunes pages that have gone cold, and reports
+    /// the epoch's hot set and whether it shifted (see [`HotSetDelta`]).
+    ///
+    /// Dwell detection is purely observational — it never changes a score —
+    /// and every input (scores, epoch boundaries) is bit-identical across the
+    /// per-line, batched and replay pipelines, so the returned delta is too.
+    pub fn end_epoch(&mut self) -> HotSetDelta {
         let decay = self.decay;
         for h in self.heat.values_mut() {
             h.score = h.score * decay + h.cur_lines as f64;
@@ -111,6 +157,32 @@ impl HotnessTracker {
         }
         self.heat.retain(|_, h| h.score >= HEAT_FLOOR);
         self.epochs_completed += 1;
+
+        let max = self.heat.values().map(|h| h.score).fold(0.0f64, f64::max);
+        let hot: HashSet<u64> = if max > 0.0 {
+            self.heat
+                .iter()
+                .filter(|(_, h)| h.score >= HOT_SET_FRACTION * max)
+                .map(|(&page, _)| page)
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        let pages = hot.len() as u64;
+        let shifted = if self.anchor_hot.is_empty() {
+            // No dwell open: the first non-empty hot set becomes the anchor.
+            self.anchor_hot = hot;
+            false
+        } else {
+            let still_hot = self.anchor_hot.iter().filter(|p| hot.contains(p)).count();
+            let shifted = (still_hot * 2) <= self.anchor_hot.len();
+            if shifted {
+                // The dwell closed: the new hot set anchors the next one.
+                self.anchor_hot = hot;
+            }
+            shifted
+        };
+        HotSetDelta { pages, shifted }
     }
 
     /// Decayed heat of a page as of the last completed epoch (0 for pages
@@ -451,6 +523,23 @@ impl TieringPolicy for PeriodicRebalance {
 
 /// Serializable description of a tiering-policy configuration, for campaign
 /// sweeps, benchmark harnesses and committed JSON results.
+///
+/// ```
+/// use dismem_sim::tiering::HotPromote;
+/// use dismem_sim::{Machine, MachineConfig, TieringPolicy, TieringSpec};
+///
+/// let spec = TieringSpec::HotPromote(HotPromote::new(4096, 16.0));
+/// assert_eq!(spec.label(), "hot-promote");
+///
+/// // A spec builds its policy, and a machine installs it directly.
+/// let mut machine = Machine::new(MachineConfig::test_config());
+/// machine.set_tiering_spec(&spec);
+/// assert_eq!(machine.tiering_policy_name(), "hot-promote");
+///
+/// // The default `Static` spec never fires an epoch: the machine stays
+/// // bit-identical to the pre-tiering simulator.
+/// assert!(TieringSpec::Static.build().epoch_lines().is_none());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TieringSpec {
     /// First-touch pinning, no migrations (the reference).
@@ -495,6 +584,14 @@ pub struct TieringStats {
     pub ping_pongs_damped: u64,
     /// Migrations dropped because the destination tier was full.
     pub skipped_capacity: u64,
+    /// Times the hot set moved (see [`HotSetDelta::shifted`]).
+    pub hot_set_shifts: u64,
+    /// Epochs spent in completed phase dwells (dwells closed by a shift).
+    pub dwell_epochs_total: u64,
+    /// Epochs of the still-open dwell (the current hot set's residency).
+    pub open_dwell_epochs: u64,
+    /// Largest hot set observed at any epoch, in pages.
+    pub hot_set_pages_max: u64,
 }
 
 /// Per-machine tiering state: the installed policy, the epoch accumulator,
@@ -593,6 +690,42 @@ mod tests {
         b.end_epoch();
         assert_eq!(a.heat_of(7).to_bits(), b.heat_of(7).to_bits());
         assert_eq!(a.heat_of(9).to_bits(), b.heat_of(9).to_bits());
+    }
+
+    #[test]
+    fn hot_set_shift_detection_follows_the_moving_working_set() {
+        let mut t = HotnessTracker::new(0.5);
+        // Epoch 1: pages 1 and 2 are hot, page 3 is background noise.
+        t.record(1, 100);
+        t.record(2, 90);
+        t.record(3, 10);
+        let d = t.end_epoch();
+        assert_eq!(d.pages, 2);
+        assert!(!d.shifted, "the first hot set is not a shift");
+        // Epoch 2: the same set stays hot.
+        t.record(1, 100);
+        t.record(2, 90);
+        assert!(!t.end_epoch().shifted);
+        // Epoch 3: the working set moves entirely.
+        t.record(7, 500);
+        t.record(8, 450);
+        let d = t.end_epoch();
+        assert!(d.shifted, "a moved working set must register as a shift");
+        assert_eq!(d.pages, 2);
+    }
+
+    #[test]
+    fn idle_epochs_decay_uniformly_without_shifting() {
+        let mut t = HotnessTracker::new(0.5);
+        t.record(1, 100);
+        t.record(2, 90);
+        assert!(!t.end_epoch().shifted);
+        // Decay-only epochs scale every score (and the maximum) by the same
+        // factor, so fraction-of-max membership — and the dwell clock — is
+        // unchanged until pruning empties the set.
+        let d = t.end_epoch();
+        assert!(!d.shifted);
+        assert_eq!(d.pages, 2);
     }
 
     #[test]

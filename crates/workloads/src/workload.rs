@@ -140,6 +140,16 @@ impl WorkloadKind {
         }
     }
 
+    /// Instantiates all six paper workloads at `scale`, in presentation
+    /// order — the suite the pooled-configuration studies (tiering campaigns,
+    /// scheduling sweeps) iterate over.
+    pub fn instantiate_all(scale: InputScale) -> Vec<Box<dyn Workload>> {
+        Self::all()
+            .into_iter()
+            .map(|kind| kind.instantiate(scale))
+            .collect()
+    }
+
     /// Instantiates a deliberately tiny configuration for unit and
     /// integration tests (runs in milliseconds even on the full simulator in
     /// debug builds).
@@ -254,6 +264,16 @@ mod tests {
                 w.name()
             );
             assert!(stats.peak_footprint_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn instantiate_all_matches_the_registry_order() {
+        let suite = WorkloadKind::instantiate_all(InputScale::X1);
+        assert_eq!(suite.len(), 6);
+        for (w, kind) in suite.iter().zip(WorkloadKind::all()) {
+            assert_eq!(w.name(), kind.name());
+            assert!(w.expected_footprint_bytes() > 0);
         }
     }
 

@@ -55,9 +55,9 @@ fn main() {
             o.speedup_vs_static,
             o.loaded_speedup_vs_static,
             o.remote_access_ratio * 100.0,
-            o.promotions,
-            o.demotions,
-            o.migrated_bytes as f64 / (1 << 20) as f64,
+            o.tiering.promotions,
+            o.tiering.demotions,
+            o.tiering.migrated_bytes as f64 / (1 << 20) as f64,
         );
     }
     println!(

@@ -444,6 +444,43 @@ fn tiering_promotion_then_oom_is_identical_across_pipelines() {
     }
 }
 
+/// The phase-dwell counters (hot-set shifts, dwell epochs, peak hot-set
+/// size) are derived from the hotness tracker at epoch boundaries, so they
+/// must be measured — and bit-identical — on all three pipelines. The body
+/// alternates between two disjoint hot regions so the hot set demonstrably
+/// moves, and full `RunReport` equality pins the dwell counters along with
+/// everything else.
+#[test]
+fn dwell_counters_see_hot_set_shifts_and_stay_bit_identical() {
+    let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+    let spec = test_hot_promote();
+    let body = |m: &mut Machine| {
+        let a = m.alloc("arena", "t", 96 * PAGE_SIZE);
+        m.phase_start("p");
+        m.touch(a, 96 * PAGE_SIZE);
+        // Hammer the two halves of the arena alternately: each phase's hot
+        // set is one half, so every phase boundary is a hot-set shift.
+        for phase in 0..6u64 {
+            let base = (phase % 2) * 48 * PAGE_SIZE;
+            for _ in 0..8 {
+                m.read(a, base, 48 * PAGE_SIZE);
+            }
+        }
+        m.phase_end();
+    };
+    let (per_line, _) = run_tiered(&config, Some(&spec), Pipeline::PerLine, body);
+    let (batched, _) = run_tiered(&config, Some(&spec), Pipeline::Batched, body);
+    let (replay, _) = run_tiered(&config, Some(&spec), Pipeline::Replay, body);
+    let t = &per_line.tiering;
+    assert!(t.epochs > 0, "epochs must fire: {t:?}");
+    assert!(t.hot_set_shifts > 0, "the hot set must move: {t:?}");
+    assert!(t.dwell_epochs_total > 0, "shifts close dwells: {t:?}");
+    assert!(t.hot_set_pages_max > 0);
+    assert!(t.mean_dwell_epochs() > 0.0);
+    assert_eq!(batched, per_line, "batched dwell counters diverged");
+    assert_eq!(replay, per_line, "replay dwell counters diverged");
+}
+
 /// The periodic rebalancer is deterministic across pipelines too.
 #[test]
 fn periodic_rebalance_is_exact_across_pipelines() {
