@@ -18,6 +18,10 @@
 //! stream replay speedup (a machine-independent ratio, unlike absolute
 //! lines/s) regresses more than 20% against the baseline.
 
+// The bench harness is the one sanctioned wall-clock observer in the
+// workspace: it measures real simulator throughput.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use dismem_bench::{base_config, is_quick, print_table, write_json, Row};
 use dismem_sched::{default_specs, sweep_tiering_policies, CampaignConfig, TieringOutcome};
 use dismem_sim::Machine;

@@ -12,6 +12,8 @@
 //! * `DISMEM_RESULTS_DIR` — where to write the JSON copies of the results
 //!   (defaults to `target/dismem-results`).
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod paper;
 

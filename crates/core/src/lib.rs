@@ -26,7 +26,8 @@
 //! let _ = guidance;
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod case_bfs;
 pub mod guidance;

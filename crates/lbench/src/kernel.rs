@@ -134,8 +134,8 @@ impl Workload for LBenchKernel {
             let mut offset = 0;
             while offset < p.array_bytes {
                 let len = SLICE.min(p.array_bytes - offset);
-                engine.access(array, offset, len, AccessKind::Read);
-                engine.access(array, offset, len, AccessKind::Write);
+                engine.access_range(array, offset, len, AccessKind::Read);
+                engine.access_range(array, offset, len, AccessKind::Write);
                 engine.flops((len / 8) * p.flops_per_element);
                 offset += len;
             }

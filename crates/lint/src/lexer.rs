@@ -1,0 +1,381 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The build container is offline, so `dismem-lint` cannot depend on `syn`;
+//! the rules it enforces only need a token stream with line numbers and the
+//! comment text (for `SAFETY:` audits and `dismem-lint: allow(...)`
+//! directives), not a full AST. The lexer handles the parts of the Rust
+//! grammar that would otherwise produce false tokens: line and (nested)
+//! block comments, string/raw-string/byte-string literals, char literals vs
+//! lifetimes, numeric literals and multi-character operators.
+
+/// Kind of a significant (non-comment, non-whitespace) token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Operator or delimiter (possibly multi-character, e.g. `+=` or `::`).
+    Punct,
+    /// String literal of any flavour (the content is not retained).
+    Str,
+    /// Character literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (`""` for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if the token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block) with its 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the significant tokens plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "..",
+];
+
+/// Tokenizes `src`. The lexer never fails: unterminated literals simply run
+/// to end of input, which is good enough for lint scanning (the workspace is
+/// compiled by rustc anyway, so malformed files cannot land).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += count_lines(&b[start..i]);
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Raw / byte / c-string prefixes and plain strings.
+        if c == 'r' || c == 'b' || c == 'c' {
+            if let Some(len) = raw_or_byte_string_len(&b[i..]) {
+                line += count_lines(&b[i..i + len]);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                i += len;
+                continue;
+            }
+        }
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    i += 2;
+                } else if b[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            line += count_lines(&b[start..i.min(b.len())]);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime / loop label.
+        if c == '\'' {
+            // `'ident` not followed by a closing quote is a lifetime.
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            let is_lifetime = j > i + 1 && (j >= b.len() || b[j] != '\'');
+            if is_lifetime {
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: skip to the closing quote, honouring escapes.
+            let start = i;
+            i += 1;
+            if i < b.len() && b[i] == '\\' {
+                i += 2;
+            } else if i < b.len() {
+                i += 1;
+            }
+            while i < b.len() && b[i] != '\'' {
+                i += 1;
+            }
+            i = (i + 1).min(b.len());
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifiers and keywords (including raw identifiers).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literals (loose: `0xFF`, `1_000`, `1.5e-3`, `2f64`, `0..n`
+        // stops before the range operator).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    i += 2;
+                } else if (d == '+' || d == '-')
+                    && matches!(b[i - 1], 'e' | 'E')
+                    && b[start..i]
+                        .iter()
+                        .any(|&x| x == '.' || x == 'e' || x == 'E')
+                {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Multi-character then single-character punctuation.
+        let rest: String = b[i..(i + 3).min(b.len())].iter().collect();
+        let mut matched = false;
+        for p in MULTI_PUNCT {
+            if rest.starts_with(p) {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Length of a raw/byte/c string literal starting at `b[0]` (one of the
+/// prefixes `r` / `b` / `c` / `br` / `rb` / ...), or `None` if `b` does not
+/// start a string literal.
+fn raw_or_byte_string_len(b: &[char]) -> Option<usize> {
+    let mut j = 0;
+    // Consume a prefix of string-ish letters (at most 2: `br`, `cr`...).
+    while j < 2 && j < b.len() && matches!(b[j], 'r' | 'b' | 'c') {
+        j += 1;
+    }
+    if j == 0 || j >= b.len() {
+        return None;
+    }
+    let raw = b[..j].contains(&'r');
+    // Count `#`s of a raw string.
+    let mut hashes = 0;
+    while raw && j + hashes < b.len() && b[j + hashes] == '#' {
+        hashes += 1;
+    }
+    if b.get(j + hashes) != Some(&'"') {
+        return None;
+    }
+    let mut i = j + hashes + 1;
+    while i < b.len() {
+        if !raw && b[i] == '\\' {
+            i += 2;
+            continue;
+        }
+        if b[i] == '"' {
+            if !raw {
+                return Some(i + 1);
+            }
+            // A raw string ends at `"` followed by the right number of `#`s.
+            let close = &b[i + 1..(i + 1 + hashes).min(b.len())];
+            if close.len() == hashes && close.iter().all(|&h| h == '#') {
+                return Some(i + 1 + hashes);
+            }
+        }
+        i += 1;
+    }
+    Some(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("let x = a.access(1);");
+        let texts: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ".", "access", "(", "1", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("x(); // trailing note\n/* block\nspanning */ y();");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(l.toks.iter().any(|t| t.is_ident("y")));
+        // `y` is on line 3 (the block comment spans a newline).
+        assert_eq!(l.toks.iter().find(|t| t.is_ident("y")).unwrap().line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let l = lex(r#"let s = "unsafe Instant .access("; t();"#);
+        assert!(!l.toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!l.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(l.toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex(r###"let s = r#"has "quotes" and unsafe"#; u();"###);
+        assert!(!l.toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(l.toks.iter().any(|t| t.is_ident("u")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn compound_assignment_is_one_token() {
+        let l = lex("c.dram_lines_pool += 1; a == b; m =>");
+        assert!(l.toks.iter().any(|t| t.is_punct("+=")));
+        assert!(l.toks.iter().any(|t| t.is_punct("==")));
+        assert!(l.toks.iter().any(|t| t.is_punct("=>")));
+        assert!(!l.toks.iter().any(|t| t.is_punct("=")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let l = lex("a();\n\"two\nlines\";\nb();");
+        assert_eq!(l.toks.iter().find(|t| t.is_ident("b")).unwrap().line, 4);
+    }
+}

@@ -1,0 +1,98 @@
+#![forbid(unsafe_code)]
+//! Command-line driver for the dismem workspace lint.
+//!
+//! ```text
+//! dismem-lint [--root DIR] [--deny-all] [--json PATH] [--quiet] [--list-rules]
+//! ```
+//!
+//! Exit status is 0 when the scan is clean (or `--deny-all` was not given),
+//! 1 when `--deny-all` is set and findings exist, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: dismem-lint [--root DIR] [--deny-all] [--json PATH] [--quiet] [--list-rules]\n\
+     \n\
+     --root DIR    workspace root to scan (default: current directory)\n\
+     --deny-all    exit non-zero if any finding is produced (the CI gate)\n\
+     --json PATH   write the findings report as JSON to PATH\n\
+     --quiet       suppress per-finding stderr output\n\
+     --list-rules  print the rule names and exit"
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_all = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("--root requires a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-all" => deny_all = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            "--list-rules" => {
+                for r in dismem_lint::scan::RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match dismem_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dismem-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("dismem-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet {
+        for f in &report.findings {
+            eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+    eprintln!(
+        "dismem-lint: {} files scanned, {} finding{}",
+        report.files_scanned,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" }
+    );
+
+    if deny_all && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

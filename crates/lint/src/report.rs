@@ -1,0 +1,110 @@
+//! Machine-readable findings report.
+//!
+//! The report is the contract between `dismem-lint` and CI: on a gate
+//! failure the JSON artifact is uploaded so the offending sites can be read
+//! without re-running the tool. Findings are sorted by `(file, line, rule)`
+//! so reports diff cleanly between runs.
+
+use serde::Serialize;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Rule identifier (see [`crate::scan::RULES`]).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(rule: &str, file: &str, line: u32, message: &str) -> Self {
+        Self {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+}
+
+/// Full report for one lint run over the workspace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Tool name (always `"dismem-lint"`).
+    pub tool: String,
+    /// Tool version (the workspace version).
+    pub version: String,
+    /// Workspace root the scan ran against.
+    pub root: String,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Violations found, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Assembles a report, sorting the findings into their canonical order.
+    pub fn new(root: &str, files_scanned: usize, mut findings: Vec<Finding>) -> Self {
+        findings.sort_by(|a, b| {
+            a.file
+                .cmp(&b.file)
+                .then_with(|| a.line.cmp(&b.line))
+                .then_with(|| a.rule.cmp(&b.rule))
+        });
+        Self {
+            tool: "dismem-lint".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            root: root.to_string(),
+            files_scanned,
+            findings,
+        }
+    }
+
+    /// True if the scan found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Pretty-printed JSON form of the report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("stub serializer is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_sort_canonically() {
+        let r = Report::new(
+            ".",
+            2,
+            vec![
+                Finding::new("wall-clock", "b.rs", 9, "m"),
+                Finding::new("bulk-api", "a.rs", 20, "m"),
+                Finding::new("bulk-api", "a.rs", 3, "m"),
+            ],
+        );
+        let order: Vec<(&str, u32)> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(order, [("a.rs", 3), ("a.rs", 20), ("b.rs", 9)]);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = Report::new(".", 1, vec![Finding::new("bulk-api", "a.rs", 3, "msg")]);
+        let json = r.to_json();
+        assert!(json.contains("\"tool\": \"dismem-lint\""));
+        assert!(json.contains("\"rule\": \"bulk-api\""));
+        assert!(json.contains("\"line\": 3"));
+    }
+}

@@ -1,0 +1,8 @@
+// Known-bad: an allow directive with no justification suppresses nothing
+// and is itself a finding. Expected: exactly one allow-syntax finding AND
+// one wall-clock finding (the suppression does not take effect).
+
+fn now() {
+    // dismem-lint: allow(wall-clock)
+    let _t = Instant::now(); // still BAD: the allow above has no reason
+}

@@ -1,0 +1,25 @@
+// Known-good: every violation here carries a justified allow directive, so
+// the scan must produce zero findings.
+
+struct S {
+    index: HashMap<u64, u64>,
+}
+
+impl S {
+    fn sum_like(&self) -> u64 {
+        let mut acc = 0;
+        // dismem-lint: allow(hash-iteration) — integer addition commutes.
+        for (_k, v) in &self.index {
+            acc += v;
+        }
+        acc
+    }
+}
+
+fn run(engine: &mut dyn MemoryEngine, a: Handle) {
+    for i in 0..4u64 {
+        // dismem-lint: allow(bulk-api) — fixture demonstrating suppression.
+        engine.access(a, i * 8, 8, AccessKind::Read);
+    }
+    let _t = Instant::now(); // dismem-lint: allow(wall-clock) — same line.
+}

@@ -1,0 +1,34 @@
+// Known-bad: per-element access calls inside loop bodies in a workload.
+// Expected: exactly two bulk-api findings (the loop-free call is legal).
+
+fn run(engine: &mut dyn MemoryEngine) {
+    let a = engine.alloc("a", "fixture", 4096);
+    engine.access(a, 0, 8, AccessKind::Read); // statement position: fine
+
+    for i in 0..64u64 {
+        engine.access(a, i * 8, 8, AccessKind::Read); // BAD
+    }
+
+    let mut off = 0u64;
+    while off < 4096 {
+        engine.access(a, off, 8, AccessKind::Write); // BAD
+        off += 8;
+    }
+}
+
+impl Workload for Fixture {
+    // `for` in `impl ... for ...` is not a loop; the call below is loop-free.
+    fn tail(&self, engine: &mut dyn MemoryEngine) {
+        engine.access(self.buf, 0, 8, AccessKind::Read);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn loops_in_tests_are_exempt() {
+        for i in 0..4u64 {
+            engine.access(a, i, 1, AccessKind::Read);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Known-bad: direct mutation of Counters traffic fields outside the
+// recording core. Expected: exactly two single-recording-point findings
+// (reads and `flops` mutation are legal).
+
+fn fudge(c: &mut Counters) {
+    c.dram_lines_pool += 12; // BAD
+    c.demand_read_lines = 0; // BAD
+    let _snapshot = c.link_raw_bytes; // read: fine
+    c.flops += 99; // `flops` is shared with unrelated structs: fine
+}

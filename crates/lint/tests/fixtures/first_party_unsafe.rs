@@ -1,0 +1,8 @@
+// Known-bad: `unsafe` in first-party code. Expected: exactly one
+// unsafe-audit finding (a SAFETY comment does not legalise first-party
+// unsafe; only vendor/ gets that escape hatch).
+
+fn peek(p: *const u8) -> u8 {
+    // SAFETY: caller promises p is valid (irrelevant: still first-party).
+    unsafe { *p } // BAD
+}

@@ -1,0 +1,30 @@
+// Known-bad: unsorted hash iteration on a report-affecting path.
+// Expected: exactly two hash-iteration findings — the method-call form and
+// the for-loop form. The sorted and aggregated uses are legal.
+
+struct Tracker {
+    heat: HashMap<u64, f64>,
+}
+
+impl Tracker {
+    fn leak_order(&self) -> Vec<u64> {
+        self.heat.keys().copied().collect() // BAD: arbitrary order escapes
+    }
+
+    fn walk(&self) {
+        for (page, _score) in &self.heat {
+            // BAD: loop body observes arbitrary order
+            emit(*page);
+        }
+    }
+
+    fn sorted_is_fine(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self.heat.keys().copied().collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    fn aggregation_is_fine(&self) -> usize {
+        self.heat.iter().count()
+    }
+}

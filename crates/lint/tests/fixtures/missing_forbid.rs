@@ -1,0 +1,7 @@
+//! Known-bad crate root: the forbid-unsafe-code attribute is absent.
+//! Expected (when scanned as `crates/<x>/src/lib.rs`): exactly one
+//! unsafe-audit finding on line 1.
+
+pub fn harmless() -> u32 {
+    7
+}

@@ -1,0 +1,11 @@
+// Known-bad: recording-point calls from outside the sanctioned modules.
+// Expected: exactly two single-recording-point findings (the `fn` item
+// definition on line 11 is not a call).
+
+fn sneak_traffic(space: &mut AddressSpace) {
+    space.record_dram_traffic(0, Tier::Local, 7, 4); // BAD
+    let _tier = space.dram_access(0x1000); // BAD
+}
+
+// A local helper merely *named* like the recording entry point is not a call.
+fn record_dram_traffic(_owner: u32) {}

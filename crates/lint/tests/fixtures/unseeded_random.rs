@@ -1,0 +1,9 @@
+// Known-bad: ambient randomness. Expected: exactly two unseeded-random
+// findings (`thread_rng` and `rand::random`; the seeded RNG is legal).
+
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng(); // BAD
+    let x: u64 = rand::random(); // BAD
+    let mut seeded = StdRng::seed_from_u64(0x5EED); // fine
+    rng.gen::<u64>() ^ x ^ seeded.gen::<u64>()
+}

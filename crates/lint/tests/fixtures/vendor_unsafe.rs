@@ -1,0 +1,14 @@
+// Known-bad vendor file: one documented unsafe block and one undocumented.
+// Expected (when scanned as `vendor/<x>/src/lib.rs`): exactly one
+// unsafe-audit finding, on the undocumented block.
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: callers of this stub pass pointers into a live Vec.
+    unsafe { *p }
+}
+
+// (spacer so the SAFETY comment above is out of range for the next block)
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } // BAD: no SAFETY comment within five lines
+}

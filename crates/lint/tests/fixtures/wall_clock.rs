@@ -1,0 +1,19 @@
+// Known-bad: host-time observation outside the bench crate.
+// Expected: exactly two wall-clock findings (the string literal and the
+// test-module use are exempt).
+
+use std::time::Instant;
+
+fn measure() -> u64 {
+    let t0 = Instant::now(); // BAD (second finding: the import above)
+    let _label = "Instant is just a word here";
+    t0.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

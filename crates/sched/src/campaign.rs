@@ -326,6 +326,8 @@ mod tests {
 
     #[test]
     fn campaign_trials_use_multiple_threads() {
+        // Test-only membership set; never iterated.
+        #[allow(clippy::disallowed_types)]
         use std::collections::HashSet;
         use std::sync::Mutex;
         assert!(
@@ -334,6 +336,7 @@ mod tests {
         );
         // Observe the worker threads the campaign machinery actually uses by
         // running the same par_iter shape the campaign runs.
+        #[allow(clippy::disallowed_types)]
         let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
         let report = pooled_report(WorkloadKind::Hpl);
         let idle = report.retime(&InterferenceProfile::Idle).total_runtime_s;

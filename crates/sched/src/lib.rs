@@ -21,7 +21,8 @@
 //! (static / hot-promote / periodic-rebalance) and each placement is then
 //! priced under the interference campaigns above.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod policy;

@@ -12,6 +12,9 @@ use crate::tiering::HotnessTracker;
 use dismem_trace::access::pages_for;
 use dismem_trace::{AllocationRecord, ObjectHandle, PageHistogram, PlacementPolicy};
 use serde::{Deserialize, Serialize};
+// The page-tier map is consulted on every simulated line access; ordered
+// consumers go through sorted snapshots (see `bound_pages`).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// Memory tier a page can be bound to.
@@ -137,6 +140,7 @@ pub struct AddressSpace {
     /// Pages assigned so far per object (drives interleave patterns).
     assigned_pages: Vec<u64>,
     next_page: u64,
+    #[allow(clippy::disallowed_types)]
     page_tier: HashMap<u64, (Tier, ObjectHandle)>,
     /// One-entry memo of the last [`AddressSpace::resolve_dram`] result
     /// (page, tier, owner): lines of the same page skip the hash lookup.
@@ -165,6 +169,7 @@ impl AddressSpace {
             placements: Vec::new(),
             assigned_pages: Vec::new(),
             next_page: 1, // keep page 0 unused so address 0 is never valid
+            #[allow(clippy::disallowed_types)]
             page_tier: HashMap::new(),
             last_resolved: None,
             local_pages_used: 0,
@@ -349,6 +354,8 @@ impl AddressSpace {
     /// Iterates over every bound page and its tier, in no particular order
     /// (callers that need determinism must sort).
     pub fn bound_pages(&self) -> impl Iterator<Item = (u64, Tier)> + '_ {
+        // dismem-lint: allow(hash-iteration) — accessor documented as
+        // unordered; the tiering epoch sorts the samples it builds from this.
         self.page_tier
             .iter()
             .map(|(&page, &(tier, _))| (page, tier))

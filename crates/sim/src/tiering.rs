@@ -55,6 +55,10 @@
 
 use crate::address_space::Tier;
 use serde::{Deserialize, Serialize};
+// Hotness tracking is on the per-epoch hot path and only ever leaves the
+// hash containers through sorted samples or order-insensitive folds
+// (enforced by dismem-lint's hash-iteration rule).
+#[allow(clippy::disallowed_types)]
 use std::collections::{HashMap, HashSet};
 
 /// Heat scores below this are pruned at epoch boundaries, keeping the tracker
@@ -113,9 +117,11 @@ pub struct HotSetDelta {
 pub struct HotnessTracker {
     decay: f64,
     epochs_completed: u64,
+    #[allow(clippy::disallowed_types)]
     heat: HashMap<u64, PageHeat>,
     /// Anchor hot set of the open dwell (the hot set observed when the dwell
     /// started), kept to detect hot-set shifts. Empty while no dwell is open.
+    #[allow(clippy::disallowed_types)]
     anchor_hot: HashSet<u64>,
 }
 
@@ -130,7 +136,9 @@ impl HotnessTracker {
         Self {
             decay,
             epochs_completed: 0,
+            #[allow(clippy::disallowed_types)]
             heat: HashMap::new(),
+            #[allow(clippy::disallowed_types)]
             anchor_hot: HashSet::new(),
         }
     }
@@ -151,6 +159,8 @@ impl HotnessTracker {
     /// per-line, batched and replay pipelines, so the returned delta is too.
     pub fn end_epoch(&mut self) -> HotSetDelta {
         let decay = self.decay;
+        // dismem-lint: allow(hash-iteration) — per-page decay touches every
+        // entry independently; no cross-entry state, so order cannot matter.
         for h in self.heat.values_mut() {
             h.score = h.score * decay + h.cur_lines as f64;
             h.cur_lines = 0;
@@ -158,7 +168,10 @@ impl HotnessTracker {
         self.heat.retain(|_, h| h.score >= HEAT_FLOOR);
         self.epochs_completed += 1;
 
+        // dismem-lint: allow(hash-iteration) — max over f64 scores is
+        // commutative and associative (no NaNs: scores are sums of counts).
         let max = self.heat.values().map(|h| h.score).fold(0.0f64, f64::max);
+        #[allow(clippy::disallowed_types)]
         let hot: HashSet<u64> = if max > 0.0 {
             self.heat
                 .iter()
@@ -605,6 +618,7 @@ pub(crate) struct TieringRuntime {
     /// Index of the current epoch (1-based; incremented when an epoch fires).
     pub(crate) epoch: u64,
     /// Page → epoch of its last applied migration (ping-pong damper).
+    #[allow(clippy::disallowed_types)]
     pub(crate) last_migrated: HashMap<u64, u64>,
     pub(crate) stats: TieringStats,
 }
@@ -615,6 +629,7 @@ impl TieringRuntime {
             policy,
             epoch_acc: 0,
             epoch: 0,
+            #[allow(clippy::disallowed_types)]
             last_migrated: HashMap::new(),
             stats: TieringStats::default(),
         }

@@ -2,6 +2,10 @@
 //! behind the paper's memory bandwidth-capacity scaling curves (Figure 6).
 
 use serde::{Deserialize, Serialize};
+// The histogram's record path is the per-access hot loop, so the page-count
+// map stays a HashMap; every ordered consumer sorts a snapshot (enforced by
+// dismem-lint's hash-iteration rule).
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// Histogram of access counts per page.
@@ -12,6 +16,7 @@ use std::collections::HashMap;
 /// share of accesses they receive.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageHistogram {
+    #[allow(clippy::disallowed_types)]
     counts: HashMap<u64, u64>,
 }
 
@@ -59,6 +64,8 @@ impl PageHistogram {
 
     /// Iterator over `(page, count)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        // dismem-lint: allow(hash-iteration) — accessor documented as
+        // unordered; report-affecting callers sort the pairs they collect.
         self.counts.iter().map(|(&p, &c)| (p, c))
     }
 
@@ -71,10 +78,10 @@ impl PageHistogram {
     /// that are allocated but never accessed stretch the curve to the right).
     pub fn scaling_curve(&self, footprint_pages: u64, samples: usize) -> Vec<ScalingPoint> {
         assert!(samples >= 1, "at least one sample point is required");
-        let mut counts: Vec<u64> = self.counts.values().copied().collect();
-        counts.sort_unstable_by(|a, b| b.cmp(a));
-        let total: u64 = counts.iter().sum();
-        let footprint = footprint_pages.max(counts.len() as u64).max(1);
+        let mut sorted: Vec<u64> = self.counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = sorted.iter().sum();
+        let footprint = footprint_pages.max(sorted.len() as u64).max(1);
 
         let mut curve = Vec::with_capacity(samples + 1);
         curve.push(ScalingPoint {
@@ -92,16 +99,16 @@ impl PageHistogram {
         }
 
         // Prefix sums of sorted counts.
-        let mut prefix = Vec::with_capacity(counts.len() + 1);
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
         prefix.push(0u64);
-        for c in &counts {
+        for c in &sorted {
             prefix.push(prefix.last().unwrap() + c);
         }
 
         for i in 1..=samples {
             let frac = i as f64 / samples as f64;
             let pages = (frac * footprint as f64).round() as usize;
-            let covered = pages.min(counts.len());
+            let covered = pages.min(sorted.len());
             let acc = prefix[covered];
             curve.push(ScalingPoint {
                 footprint_fraction: frac,

@@ -10,6 +10,9 @@
 //! implementation of [`MemoryEngine`] — usually the simulator in `dismem-sim`,
 //! but also the lightweight recorder in this crate for unit testing.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod access;
 pub mod alloc;
 pub mod engine;

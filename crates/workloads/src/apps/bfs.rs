@@ -181,7 +181,7 @@ impl Bfs {
         // Graph construction: histogram degrees into the temporary, then fill
         // offsets and edge lists.
         engine.touch(temp, temp_bytes);
-        engine.access(temp, 0, temp_bytes, AccessKind::Read);
+        engine.access_range(temp, 0, temp_bytes, AccessKind::Read);
         engine.touch(offsets, offsets_bytes);
         engine.touch(edges, edges_bytes);
         (offsets, edges, temp)
@@ -208,7 +208,7 @@ impl Bfs {
                 continue;
             }
             parents_data[root] = root as u32;
-            engine.access(parents, root as u64 * 8, 8, AccessKind::Write);
+            engine.access_range(parents, root as u64 * 8, 8, AccessKind::Write);
 
             let mut frontier = vec![root as u32];
             while !frontier.is_empty() {
@@ -228,8 +228,9 @@ impl Bfs {
                 let mut frontier_appends: Vec<u64> = Vec::new();
                 for &u in &frontier {
                     let u = u as usize;
-                    // Read the two offsets bounding u's adjacency list.
-                    engine.access(offsets, u as u64 * 8, 16, AccessKind::Read);
+                    // Read the two offsets bounding u's adjacency list: one
+                    // contiguous 16-byte run through the bulk entry point.
+                    engine.access_range(offsets, u as u64 * 8, 16, AccessKind::Read);
                     let neighbours = g.neighbours(u);
                     if !neighbours.is_empty() {
                         // Stream the adjacency slice.

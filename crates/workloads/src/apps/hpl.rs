@@ -160,7 +160,7 @@ impl Workload for Hpl {
                 (n * 8) as u64,
             );
             // Pivot search bookkeeping.
-            engine.access(piv, (col0 * 8) as u64, (nb * 8) as u64, AccessKind::Write);
+            engine.access_range(piv, (col0 * 8) as u64, (nb * 8) as u64, AccessKind::Write);
             engine.flops((nb * nb * trailing) as u64);
 
             if trailing <= nb {

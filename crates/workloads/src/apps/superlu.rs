@@ -152,14 +152,14 @@ impl Workload for SuperLu {
                 let block_bytes = (block_rows * 16).clamp(64, 4096).min(target.elements() * 8);
                 let max_off = (target.elements() * 8 - block_bytes).max(1);
                 let toff = target.panel_offset * 8 + rng.gen_range(0..max_off);
-                engine.access(factor, panel_off, block_bytes, AccessKind::Read);
-                engine.access(factor, toff, block_bytes, AccessKind::Read);
-                engine.access(factor, toff, block_bytes, AccessKind::Write);
+                engine.access_range(factor, panel_off, block_bytes, AccessKind::Read);
+                engine.access_range(factor, toff, block_bytes, AccessKind::Read);
+                engine.access_range(factor, toff, block_bytes, AccessKind::Write);
                 engine.flops(2 * block_rows * sn.width as u64);
             }
             // Occasional pivoting bookkeeping.
             if i % 8 == 0 {
-                engine.access(
+                engine.access_range(
                     perm,
                     (i as u64 * 16) % ((s.num_cols as u64 * 16) - 16),
                     16,

@@ -188,7 +188,7 @@ impl Workload for XsBench {
             // within the row, random row).
             if rng.gen_range(0..100) < p.index_row_percent {
                 let row = target * p.isotopes as u64 * 4;
-                engine.access(index, row, (p.isotopes * 4) as u64, AccessKind::Read);
+                engine.access_range(index, row, (p.isotopes * 4) as u64, AccessKind::Read);
             }
 
             // Gather the two bracketing gridpoints for every isotope and
