@@ -19,6 +19,10 @@
 //! * `unsafe-audit` — every first-party crate root carries
 //!   `#![forbid(unsafe_code)]`, no first-party `unsafe`, and vendored
 //!   `unsafe` blocks carry a `// SAFETY:` comment.
+//! * `replay-reset` — `rebind_page` (the `AddressSpace` placement
+//!   mutator) called outside the audited migration path; replayed DRAM
+//!   events land on pages, so every applied rebind must pair with
+//!   `CacheSim::replay_hard_reset`, which only the audited path guarantees.
 //! * `allow-syntax` — a `dismem-lint: allow(...)` directive without a
 //!   justification; an allow with no reason suppresses nothing.
 //!
@@ -114,6 +118,16 @@ const COUNTER_FIELDS: &[&str] = &[
     "link_raw_bytes",
     "migration_lines_local",
     "migration_lines_pool",
+];
+
+/// The replay-reset audit list: modules allowed to call `rebind_page` (the
+/// `AddressSpace` placement mutator). The binding structure defines it, and
+/// `machine.rs`'s migration-apply path is the single caller that pairs every
+/// applied rebind with `CacheSim::replay_hard_reset` — a rebind anywhere
+/// else would leave engaged replay state pointing at the wrong tier.
+const REPLAY_RESET_SANCTIONED: &[&str] = &[
+    "crates/sim/src/address_space.rs",
+    "crates/sim/src/machine.rs",
 ];
 
 /// Methods that iterate a hash container in arbitrary order.
@@ -241,6 +255,10 @@ pub fn scan_source(class: &FileClass, src: &str) -> Vec<Finding> {
         && !class.in_tests
         && !class.in_benches;
     let apply_wall_clock = first_party && class.crate_name != "bench";
+    let apply_replay_reset = first_party
+        && !REPLAY_RESET_SANCTIONED.contains(&class.rel.as_str())
+        && !class.in_tests
+        && !class.in_benches;
     let apply_unseeded_random = first_party;
 
     // Crate roots must forbid unsafe code (checked on raw text so the exact
@@ -420,6 +438,27 @@ pub fn scan_source(class: &FileClass, src: &str) -> Vec<Finding> {
                      both pipelines share",
                     t.text
                 ),
+            );
+        }
+
+        // Rule: replay-reset — placement mutation outside the audit list.
+        if apply_replay_reset
+            && t.kind == TokKind::Ident
+            && t.text == "rebind_page"
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            push(
+                &mut findings,
+                &mut seen,
+                "replay-reset",
+                t.line,
+                "`rebind_page` called outside the replay-reset audit list; \
+                 rebinding a page invalidates engaged replay state, so \
+                 placement may only change on the audited migration path \
+                 that hard-resets the replay engine"
+                    .to_string(),
             );
         }
 
@@ -683,6 +722,7 @@ fn parse_allow(line: u32, text: &str) -> Option<AllowDirective> {
 pub const RULES: &[&str] = &[
     "bulk-api",
     "single-recording-point",
+    "replay-reset",
     "hash-iteration",
     "wall-clock",
     "unseeded-random",

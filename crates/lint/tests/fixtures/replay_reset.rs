@@ -1,0 +1,15 @@
+// Known-bad: page rebinding outside the audited migration path.
+// Expected: exactly one replay-reset finding — the `fn` item definition is
+// not a call, and the directive-covered call is suppressed.
+
+fn sneak_promotion(space: &mut AddressSpace) {
+    let _ = space.rebind_page(7, Tier::Local); // BAD
+}
+
+// A local helper merely *named* like the placement mutator is not a call.
+fn rebind_page(_page: u64) {}
+
+fn audited_elsewhere(space: &mut AddressSpace) {
+    // dismem-lint: allow(replay-reset) — fixture: models an audited call site
+    let _ = space.rebind_page(9, Tier::Pool);
+}

@@ -68,6 +68,32 @@ fn counters_fixture_flags_both_mutations_but_not_reads_or_flops() {
 }
 
 #[test]
+fn replay_reset_fixture_flags_the_unaudited_rebind() {
+    let f = scan_file_as("crates/sched/src/fixture.rs", &fixture("replay_reset.rs"));
+    assert_eq!(rules_of(&f), ["replay-reset"], "{f:?}");
+    assert_eq!(f[0].line, 6);
+}
+
+#[test]
+fn migration_apply_path_is_the_only_sanctioned_rebind_site() {
+    let path = workspace_root().join("crates/sim/src/machine.rs");
+    let src = std::fs::read_to_string(path).expect("read machine.rs");
+    // On its audited path the migration apply's rebind is sanctioned...
+    assert!(
+        scan_file_as("crates/sim/src/machine.rs", &src)
+            .iter()
+            .all(|f| f.rule != "replay-reset"),
+        "machine.rs migration path must be on the audit list"
+    );
+    // ...but the same code moved anywhere else trips the rule.
+    let f = scan_file_as("crates/sim/src/tiering.rs", &src);
+    assert!(
+        f.iter().any(|f| f.rule == "replay-reset"),
+        "rebind_page outside the audit list must be flagged: {f:?}"
+    );
+}
+
+#[test]
 fn hash_iteration_fixture_flags_escape_and_loop_but_not_sorted_uses() {
     let f = scan_file_as("crates/sim/src/fixture.rs", &fixture("hash_iteration.rs"));
     assert_eq!(rules_of(&f), ["hash-iteration", "hash-iteration"], "{f:?}");

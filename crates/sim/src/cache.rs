@@ -216,19 +216,25 @@ impl SetAssocCache {
     /// `clock`, with every valid line's tag shifted forward by `tag_shift`
     /// lines and every timestamp (and the clock) by `clock_shift` ticks —
     /// the state the cache would hold had it walked the shifted traffic
-    /// exactly. Invalid slots keep their canonical default contents.
+    /// exactly. Snapshot slots flagged in `dormant` (lines the replayed
+    /// traffic provably never touched — resident foreign state in sets the
+    /// period's addresses miss) are copied verbatim instead of shifted; an
+    /// empty `dormant` slice means every valid line shifts. Invalid slots
+    /// keep their canonical default contents.
     pub(crate) fn restore_shifted(
         &mut self,
         snap_lines: &[CacheLine],
         snap_clock: u64,
         tag_shift: u64,
         clock_shift: u64,
+        dormant: &[bool],
     ) {
         debug_assert_eq!(snap_lines.len(), self.lines.len());
+        debug_assert!(dormant.is_empty() || dormant.len() == snap_lines.len());
         self.clock = snap_clock + clock_shift;
-        for (slot, snap) in self.lines.iter_mut().zip(snap_lines) {
+        for (i, (slot, snap)) in self.lines.iter_mut().zip(snap_lines).enumerate() {
             *slot = *snap;
-            if snap.valid {
+            if snap.valid && dormant.get(i) != Some(&true) {
                 slot.tag = snap.tag + tag_shift;
                 slot.stamp = snap.stamp + clock_shift;
             }
@@ -369,6 +375,20 @@ impl CacheSim {
     /// Pages per replay window for this cache geometry.
     pub fn replay_window_pages(&self) -> u64 {
         self.replay.window_pages
+    }
+
+    /// Total number of whole passes applied by the pass-level replay engine
+    /// so far (each pass covers one full repeated call over the same range).
+    /// Zero means pass-level periodicity never engaged.
+    pub fn replay_passes(&self) -> u64 {
+        self.replay.passes_replayed_total
+    }
+
+    /// Total number of strided elements applied in closed form by the
+    /// stride-aware replay engine so far. Zero means no strided sweep ever
+    /// engaged.
+    pub fn replay_stride_elements(&self) -> u64 {
+        self.replay.stride_elems_replayed_total
     }
 
     /// Whether the hardware prefetcher is enabled.

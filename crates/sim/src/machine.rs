@@ -364,6 +364,20 @@ impl Machine {
         self.cache.replay_window_pages()
     }
 
+    /// Number of whole passes the pass-level replay engine has applied so
+    /// far (a pass is one full repeated bulk call over the same range,
+    /// transient windows included). Zero means pass-level periodicity never
+    /// engaged.
+    pub fn replay_passes(&self) -> u64 {
+        self.cache.replay_passes()
+    }
+
+    /// Number of strided elements the stride-aware replay engine has applied
+    /// in closed form so far. Zero means no strided sweep ever engaged.
+    pub fn replay_stride_elements(&self) -> u64 {
+        self.cache.replay_stride_elements()
+    }
+
     /// Current simulated time in seconds.
     pub fn now(&self) -> f64 {
         self.clock_s
@@ -593,6 +607,10 @@ impl Machine {
             self.chunk.migration_lines_local += lines;
             self.chunk.migration_lines_pool += lines;
             self.chunk_pool_link_lines += lines;
+            // Rebinding pages changes where replayed DRAM events land: every
+            // applied migration must drop ALL replay state — window, pass
+            // and strided alike (the reset materializes first, so the cache
+            // state stays exact).
             self.cache.replay_hard_reset();
         }
     }

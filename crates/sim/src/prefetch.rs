@@ -144,6 +144,9 @@ impl StreamPrefetcher {
     /// Restores stream entries and the clock from a snapshot, shifted forward
     /// by `page_shift` pages and `clock_shift` clock ticks — the state the
     /// prefetcher would have reached had it tracked the stream exactly.
+    /// Snapshot entries flagged in `dormant` (streams the replayed traffic
+    /// provably never touched) are copied verbatim instead of shifted; an
+    /// empty slice means every valid entry shifts.
     ///
     /// The accuracy-feedback counters are *not* restored: they are advanced
     /// live during replay by [`StreamPrefetcher::advance_useful`].
@@ -152,17 +155,20 @@ impl StreamPrefetcher {
         snap: &PrefetcherSnapshot,
         page_shift: u64,
         clock_shift: u64,
+        dormant: &[bool],
     ) {
+        debug_assert!(dormant.is_empty() || dormant.len() == snap.entries.len());
         self.clock = snap.clock + clock_shift;
         self.entries.clear();
-        self.entries.extend(snap.entries.iter().map(|e| {
-            let mut e = *e;
-            if e.valid {
-                e.page += page_shift;
-                e.stamp += clock_shift;
-            }
-            e
-        }));
+        self.entries
+            .extend(snap.entries.iter().enumerate().map(|(i, e)| {
+                let mut e = *e;
+                if e.valid && dormant.get(i) != Some(&true) {
+                    e.page += page_shift;
+                    e.stamp += clock_shift;
+                }
+                e
+            }));
     }
 
     /// Advances the feedback state exactly as `n` consecutive
@@ -441,7 +447,7 @@ mod tests {
         let snap = p.snapshot();
         assert!(snap.enabled);
         let mut q = pf();
-        q.restore_shifted(&snap, 10, 1000);
+        q.restore_shifted(&snap, 10, 1000, &[]);
         // The restored entry tracks the original page shifted by 10 pages.
         let e = q.entries.iter().find(|e| e.valid).unwrap();
         assert_eq!(e.page, 100 / 64 + 10);

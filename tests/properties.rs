@@ -112,25 +112,48 @@ impl Pipeline {
     }
 }
 
+/// Replay-engine engagement counters observed on the replay pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Engagement {
+    windows: u64,
+    passes: u64,
+    stride_elements: u64,
+}
+
+impl Engagement {
+    fn of(m: &Machine) -> Self {
+        Engagement {
+            windows: m.replay_windows(),
+            passes: m.replay_passes(),
+            stride_elements: m.replay_stride_elements(),
+        }
+    }
+
+    /// True when any closed-form mode (window, pass, or strided) applied.
+    fn engaged(self) -> bool {
+        self.windows + self.passes > 0
+    }
+}
+
 /// Runs `body` under all three pipelines and asserts full `RunReport`
-/// bit-identity; returns the number of replay windows the replay pipeline
-/// applied so callers can assert the scenario actually engaged the engine.
-fn assert_replay_bit_identical(config: &MachineConfig, body: impl Fn(&mut Machine)) -> u64 {
+/// bit-identity; returns the replay pipeline's engagement counters so
+/// callers can assert the scenario actually engaged the engine.
+fn assert_replay_bit_identical(config: &MachineConfig, body: impl Fn(&mut Machine)) -> Engagement {
     let run = |pipeline: Pipeline| {
         let mut m = Machine::new(config.clone());
         pipeline.configure(&mut m);
         body(&mut m);
-        let windows = m.replay_windows();
-        (m.finish(), windows)
+        let engagement = Engagement::of(&m);
+        (m.finish(), engagement)
     };
-    let (per_line, w0) = run(Pipeline::PerLine);
-    let (batched, w1) = run(Pipeline::Batched);
-    let (replay, windows) = run(Pipeline::Replay);
-    assert_eq!(w0, 0);
-    assert_eq!(w1, 0);
+    let (per_line, e0) = run(Pipeline::PerLine);
+    let (batched, e1) = run(Pipeline::Batched);
+    let (replay, engagement) = run(Pipeline::Replay);
+    assert_eq!(e0, Engagement::default());
+    assert_eq!(e1, Engagement::default());
     assert_eq!(batched, per_line, "batched (replay off) diverged");
     assert_eq!(replay, per_line, "replay diverged from the reference");
-    windows
+    engagement
 }
 
 /// A run that straddles the local→pool tier boundary mid-stream: pages bind
@@ -140,7 +163,7 @@ fn assert_replay_bit_identical(config: &MachineConfig, body: impl Fn(&mut Machin
 fn replay_is_exact_across_tier_boundary() {
     let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
     let bytes = 120 * PAGE_SIZE;
-    let windows = assert_replay_bit_identical(&config, |m| {
+    let engagement = assert_replay_bit_identical(&config, |m| {
         let a = m.alloc("stream", "t", bytes);
         m.phase_start("p");
         m.touch(a, bytes);
@@ -148,7 +171,10 @@ fn replay_is_exact_across_tier_boundary() {
         m.read(a, 0, bytes);
         m.phase_end();
     });
-    assert!(windows > 0, "scenario must exercise the replay engine");
+    assert!(
+        engagement.engaged(),
+        "scenario must exercise the replay engine"
+    );
 }
 
 /// A hot line is re-seeded into a set the stream aliases, both before the
@@ -157,7 +183,7 @@ fn replay_is_exact_across_tier_boundary() {
 #[test]
 fn replay_is_exact_with_aliasing_hot_line() {
     let config = MachineConfig::test_config();
-    let windows = assert_replay_bit_identical(&config, |m| {
+    let engagement = assert_replay_bit_identical(&config, |m| {
         let hot = m.alloc("hot", "t", PAGE_SIZE);
         let stream_bytes = 80 * PAGE_SIZE;
         let a = m.alloc("stream", "t", stream_bytes);
@@ -175,7 +201,10 @@ fn replay_is_exact_with_aliasing_hot_line() {
         }
         m.phase_end();
     });
-    assert!(windows > 0, "scenario must exercise the replay engine");
+    assert!(
+        engagement.engaged(),
+        "scenario must exercise the replay engine"
+    );
 }
 
 /// Ranges that start and end mid-page: replay must hand the partial tail
@@ -183,7 +212,7 @@ fn replay_is_exact_with_aliasing_hot_line() {
 #[test]
 fn replay_is_exact_for_runs_ending_mid_page() {
     let config = MachineConfig::test_config();
-    let windows = assert_replay_bit_identical(&config, |m| {
+    let engagement = assert_replay_bit_identical(&config, |m| {
         let bytes = 64 * PAGE_SIZE;
         let a = m.alloc("stream", "t", bytes);
         m.phase_start("p");
@@ -196,7 +225,10 @@ fn replay_is_exact_for_runs_ending_mid_page() {
         m.read(a, 0, bytes);
         m.phase_end();
     });
-    assert!(windows > 0, "scenario must exercise the replay engine");
+    assert!(
+        engagement.engaged(),
+        "scenario must exercise the replay engine"
+    );
 }
 
 /// The prefetcher is toggled off and on again in the middle of a contiguous
@@ -205,7 +237,7 @@ fn replay_is_exact_for_runs_ending_mid_page() {
 #[test]
 fn replay_is_exact_when_prefetcher_toggles_mid_run() {
     let config = MachineConfig::test_config();
-    let windows = assert_replay_bit_identical(&config, |m| {
+    let engagement = assert_replay_bit_identical(&config, |m| {
         let bytes = 60 * PAGE_SIZE;
         let a = m.alloc("stream", "t", bytes);
         m.phase_start("p");
@@ -219,7 +251,10 @@ fn replay_is_exact_when_prefetcher_toggles_mid_run() {
         m.read(a, 0, bytes);
         m.phase_end();
     });
-    assert!(windows > 0, "scenario must exercise the replay engine");
+    assert!(
+        engagement.engaged(),
+        "scenario must exercise the replay engine"
+    );
 }
 
 /// A stream trained while the prefetcher was on, then interrupted by a long
@@ -230,7 +265,7 @@ fn replay_is_exact_when_prefetcher_toggles_mid_run() {
 #[test]
 fn replay_with_prefetcher_off_preserves_foreign_stream_training() {
     let config = MachineConfig::test_config();
-    let windows = assert_replay_bit_identical(&config, |m| {
+    let engagement = assert_replay_bit_identical(&config, |m| {
         let b = m.alloc("trained", "t", 4 * PAGE_SIZE);
         let stream_bytes = 90 * PAGE_SIZE;
         let a = m.alloc("stream", "t", stream_bytes);
@@ -250,7 +285,10 @@ fn replay_with_prefetcher_off_preserves_foreign_stream_training() {
         m.read(b, 24 * 64, 24 * 64);
         m.phase_end();
     });
-    assert!(windows > 0, "scenario must exercise the replay engine");
+    assert!(
+        engagement.engaged(),
+        "scenario must exercise the replay engine"
+    );
 }
 
 /// Disabling replay mid-run materializes in-flight state exactly.
@@ -277,6 +315,85 @@ fn replay_toggle_mid_run_is_exact() {
     assert_eq!(run(true), run(false));
 }
 
+/// Whole repeated passes (back-to-back identical whole-object calls) whose
+/// count differs between runs, separated by chain-breaking scalar traffic:
+/// every run must re-detect from scratch and stay bit-identical.
+#[test]
+fn replay_pass_count_change_between_runs_is_exact() {
+    let config = MachineConfig::test_config();
+    let engagement = assert_replay_bit_identical(&config, |m| {
+        let bytes = 32 * PAGE_SIZE;
+        let a = m.alloc("loop", "t", bytes);
+        m.phase_start("p");
+        m.touch(a, bytes);
+        for (run, passes) in [6usize, 3, 9].into_iter().enumerate() {
+            for _ in 0..passes {
+                m.read(a, 0, bytes);
+            }
+            // A scalar access breaks the pass chain between runs.
+            m.access(a, (run as u64) * 192, 64, AccessKind::Write);
+        }
+        m.phase_end();
+    });
+    assert!(
+        engagement.passes > 0,
+        "repeated whole-object calls must replay passes: {engagement:?}"
+    );
+}
+
+/// A loop of whole-object passes whose final call covers only part of the
+/// object: the partial pass must exit closed form and materialize exactly.
+#[test]
+fn replay_final_partial_pass_is_exact() {
+    let config = MachineConfig::test_config();
+    let engagement = assert_replay_bit_identical(&config, |m| {
+        let bytes = 32 * PAGE_SIZE;
+        let a = m.alloc("loop", "t", bytes);
+        m.phase_start("p");
+        m.touch(a, bytes);
+        for _ in 0..8 {
+            m.read(a, 0, bytes);
+        }
+        // Final partial pass, ending mid-page and mid-line.
+        m.read(a, 0, bytes / 2 + 7 * 64 + 13);
+        m.phase_end();
+    });
+    assert!(
+        engagement.passes > 0,
+        "repeated whole-object calls must replay passes: {engagement:?}"
+    );
+}
+
+/// The prefetcher is toggled off and back on between whole-object passes:
+/// each toggle hard-resets replay, and each segment must re-engage and stay
+/// bit-identical including prefetch counters.
+#[test]
+fn replay_prefetcher_toggle_between_passes_is_exact() {
+    let config = MachineConfig::test_config();
+    let engagement = assert_replay_bit_identical(&config, |m| {
+        let bytes = 32 * PAGE_SIZE;
+        let a = m.alloc("loop", "t", bytes);
+        m.phase_start("p");
+        m.touch(a, bytes);
+        for _ in 0..5 {
+            m.read(a, 0, bytes);
+        }
+        m.set_prefetch_enabled(false);
+        for _ in 0..5 {
+            m.read(a, 0, bytes);
+        }
+        m.set_prefetch_enabled(true);
+        for _ in 0..5 {
+            m.read(a, 0, bytes);
+        }
+        m.phase_end();
+    });
+    assert!(
+        engagement.passes > 0,
+        "repeated whole-object calls must replay passes: {engagement:?}"
+    );
+}
+
 /// A long-run script mixing whole-object streams (which engage replay) with
 /// scalar accesses, gathers, strided sweeps and a mid-script free.
 fn replay_script() -> impl Strategy<Value = Vec<(u8, u64, u64, u64, bool)>> {
@@ -294,21 +411,21 @@ fn test_hot_promote() -> TieringSpec {
 }
 
 /// Drives a workload body on a machine per (pipeline, tiering spec) and
-/// returns the report plus replay windows.
+/// returns the report plus the replay engagement counters.
 fn run_tiered(
     config: &MachineConfig,
     spec: Option<&TieringSpec>,
     pipeline: Pipeline,
     body: impl Fn(&mut Machine),
-) -> (dismem::sim::RunReport, u64) {
+) -> (dismem::sim::RunReport, Engagement) {
     let mut m = Machine::new(config.clone());
     pipeline.configure(&mut m);
     if let Some(spec) = spec {
         m.set_tiering_spec(spec);
     }
     body(&mut m);
-    let windows = m.replay_windows();
-    (m.finish(), windows)
+    let engagement = Engagement::of(&m);
+    (m.finish(), engagement)
 }
 
 /// A hot/cold working set under capacity pressure: the cold object fills the
@@ -352,8 +469,11 @@ fn tiering_migration_mid_replay_stream_is_exact() {
     let body = hot_cold_body(10, None);
     let (per_line, _) = run_tiered(&config, Some(&spec), Pipeline::PerLine, &body);
     let (batched, _) = run_tiered(&config, Some(&spec), Pipeline::Batched, &body);
-    let (replay, windows) = run_tiered(&config, Some(&spec), Pipeline::Replay, &body);
-    assert!(windows > 0, "scenario must exercise the replay engine");
+    let (replay, engagement) = run_tiered(&config, Some(&spec), Pipeline::Replay, &body);
+    assert!(
+        engagement.engaged(),
+        "scenario must exercise the replay engine"
+    );
     assert!(
         per_line.tiering.promotions > 0 && per_line.tiering.demotions > 0,
         "scenario must migrate: {:?}",
@@ -361,6 +481,70 @@ fn tiering_migration_mid_replay_stream_is_exact() {
     );
     assert_eq!(batched, per_line, "batched diverged under migrations");
     assert_eq!(replay, per_line, "replay diverged under migrations");
+}
+
+/// Migrations landing while whole-pass replay is engaged (repeated identical
+/// whole-object calls, not chunked streaks): every applied epoch must
+/// hard-reset pass state, and the loop must re-engage afterwards.
+#[test]
+fn tiering_migration_mid_pass_replay_is_exact() {
+    let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+    let spec = test_hot_promote();
+    let body = |m: &mut Machine| {
+        let cold = m.alloc("cold", "t", 40 * PAGE_SIZE);
+        let hot = m.alloc("hot", "t", 48 * PAGE_SIZE);
+        m.phase_start("init");
+        m.touch(cold, 40 * PAGE_SIZE);
+        m.touch(hot, 48 * PAGE_SIZE);
+        m.phase_end();
+        m.phase_start("loop");
+        for _ in 0..14 {
+            // One whole-object call per pass: the pass detector, not the
+            // window detector, owns this shape.
+            m.read(hot, 0, 48 * PAGE_SIZE);
+            m.flops(10_000);
+        }
+        m.phase_end();
+    };
+    let (per_line, _) = run_tiered(&config, Some(&spec), Pipeline::PerLine, body);
+    let (batched, _) = run_tiered(&config, Some(&spec), Pipeline::Batched, body);
+    let (replay, engagement) = run_tiered(&config, Some(&spec), Pipeline::Replay, body);
+    assert!(
+        engagement.passes > 0,
+        "whole-object loop must replay passes: {engagement:?}"
+    );
+    assert!(
+        per_line.tiering.promotions > 0,
+        "scenario must migrate: {:?}",
+        per_line.tiering
+    );
+    assert_eq!(batched, per_line, "batched diverged under migrations");
+    assert_eq!(replay, per_line, "replay diverged under migrations");
+}
+
+/// A strided sweep over an object straddling the local/pool tier boundary:
+/// element sequences cross from local into remote pages every pass, and the
+/// closed-form strided replay must keep all three pipelines bit-identical.
+#[test]
+fn strided_sweep_across_tier_boundary_is_exact() {
+    let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+    let engagement = assert_replay_bit_identical(&config, |m| {
+        let bytes = 80 * PAGE_SIZE;
+        let a = m.alloc("sweep", "t", bytes);
+        m.phase_start("p");
+        // First-touch binds the first 40 pages local, the rest on the pool.
+        m.touch(a, bytes);
+        let stride = 320u64; // 5 lines: coprime with the page size in lines
+        let count = bytes / stride;
+        for _ in 0..6 {
+            m.strided(a, 0, count, 8, stride, AccessKind::Read);
+        }
+        m.phase_end();
+    });
+    assert!(
+        engagement.stride_elements > 0,
+        "strided sweep must replay elements in closed form: {engagement:?}"
+    );
 }
 
 /// Freeing an object whose pages were partially promoted must release every
@@ -559,10 +743,9 @@ proptest! {
     #[test]
     fn replay_execution_is_bit_identical(script in replay_script()) {
         let config = MachineConfig::test_config().with_local_capacity(80 * PAGE_SIZE);
-        let windows = assert_replay_bit_identical(&config, replay_script_body(&script));
         // Not every random script reaches steady state; the deterministic
         // tests above pin engagement. This one pins only equivalence.
-        let _ = windows;
+        let _ = assert_replay_bit_identical(&config, replay_script_body(&script));
     }
 
     /// Installing the `Static` tiering policy must be indistinguishable — to
