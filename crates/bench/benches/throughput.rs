@@ -11,8 +11,16 @@
 //! interleave and hot promotion is the committed evidence that migrations
 //! pay off and are charged to the pool link.
 //!
-//! Emits `BENCH_throughput.json` (an object with `throughput` and `tiering`
-//! sections) so CI and later PRs can track the performance trajectory. Run
+//! A third section measures fleet-campaign throughput (cells per wall-clock
+//! second) through the crash-consistent journal: an uninterrupted sequential
+//! run, the same grid as three merged shards, and a warm resume that only
+//! replays the journal — the journal/bit-identity machinery must cost
+//! nothing measurable per cell, and a warm resume must be orders of
+//! magnitude faster than re-simulating.
+//!
+//! Emits `BENCH_throughput.json` (an object with `throughput`, `campaign`
+//! and `tiering` sections) so CI and later PRs can track the performance
+//! trajectory. Run
 //! with `DISMEM_QUICK=1` for the smoke profile. With `DISMEM_BASELINE=<path
 //! to a committed BENCH_throughput.json>` the bench exits non-zero if the
 //! stream replay speedup (a machine-independent ratio, unlike absolute
@@ -23,7 +31,11 @@
 #![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 use dismem_bench::{base_config, is_quick, print_table, write_json, Row};
-use dismem_sched::{default_specs, sweep_tiering_policies, CampaignConfig, TieringOutcome};
+use dismem_sched::{
+    default_specs, merge_shard_journals, resume_campaign, run_fleet_campaign,
+    sweep_tiering_policies, CampaignConfig, FaultPlan, FleetSpec, Shard, SimCellRunner,
+    TieringOutcome,
+};
 use dismem_sim::Machine;
 use dismem_trace::access::lines_for;
 use dismem_trace::{AccessKind, MemoryEngine, PlacementPolicy, PAGE_SIZE};
@@ -180,13 +192,102 @@ struct ThroughputResult {
     replay_stride_elements: u64,
 }
 
-/// The emitted JSON: the pipeline throughput table plus the tiering-policy
-/// sweep. The baseline scanner below is line-based, so nesting the existing
-/// rows under `throughput` leaves the regression gate untouched.
+/// The emitted JSON: the pipeline throughput table plus the fleet-campaign
+/// and tiering-policy sections. The baseline scanner below is line-based and
+/// section-aware: it reads only the `throughput` section, so the trailing
+/// sections cannot perturb the regression gate.
 #[derive(Serialize)]
 struct ThroughputReport {
     throughput: Vec<ThroughputResult>,
+    campaign: CampaignBench,
     tiering: Vec<TieringOutcome>,
+}
+
+/// Fleet-campaign throughput through the crash-consistent journal.
+#[derive(Serialize)]
+struct CampaignBench {
+    /// Cells in the benchmarked grid.
+    grid_cells: u64,
+    /// Shards the grid was split into for the sharded measurement.
+    shards: u64,
+    /// Uninterrupted sequential run, journaling every cell.
+    sequential_cells_per_sec: f64,
+    /// Same grid as independent shard journals run back-to-back in one
+    /// process, plus the merge into one total-order journal.
+    sharded_cells_per_sec: f64,
+    /// Warm resume over the merged journal: replay only, zero re-runs.
+    resumed_warm_cells_per_sec: f64,
+}
+
+/// Measures fleet-campaign throughput: sequential vs sharded vs resumed-warm
+/// over a tiny grid, asserting the bit-identity contract along the way.
+fn campaign_bench(quick: bool) -> CampaignBench {
+    let config = base_config();
+    let spec = if quick {
+        FleetSpec {
+            workloads: vec!["BFS".into(), "XSBench".into()],
+            capacities_permille: vec![250, 750],
+            ..FleetSpec::tiny_grid(&config)
+        }
+    } else {
+        FleetSpec::tiny_grid(&config)
+    };
+    let runner = SimCellRunner::quick(config);
+    let cells = spec.cells().len() as u64;
+    let dir = std::env::temp_dir().join(format!("dismem-bench-campaign-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create campaign bench dir");
+    let journal = |name: &str| {
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    };
+
+    let sequential_path = journal("sequential.jsonl");
+    let start = Instant::now();
+    let sequential = run_fleet_campaign(&spec, &runner, &sequential_path, None, &FaultPlan::none())
+        .expect("sequential campaign");
+    let sequential_cells_per_sec = cells as f64 / start.elapsed().as_secs_f64().max(1e-12);
+
+    const SHARDS: u32 = 3;
+    let shard_paths: Vec<std::path::PathBuf> = (0..SHARDS)
+        .map(|i| journal(&format!("shard{i}.jsonl")))
+        .collect();
+    let merged_path = journal("merged.jsonl");
+    let start = Instant::now();
+    for (i, path) in shard_paths.iter().enumerate() {
+        run_fleet_campaign(
+            &spec,
+            &runner,
+            path,
+            Some(Shard::new(i as u32, SHARDS)),
+            &FaultPlan::none(),
+        )
+        .unwrap_or_else(|e| panic!("shard {i} failed: {e}"));
+    }
+    let merged_records = merge_shard_journals(&shard_paths, &merged_path, &spec.digest_hex())
+        .expect("merge shard journals");
+    let sharded_cells_per_sec = cells as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    assert_eq!(merged_records, cells, "merged journal must cover the grid");
+
+    let start = Instant::now();
+    let (resumed, stats) = resume_campaign(&spec, &runner, &merged_path, None, &FaultPlan::none())
+        .expect("warm resume");
+    let resumed_warm_cells_per_sec = cells as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    assert_eq!(stats.reran, 0, "warm resume must not re-run any cell");
+    assert_eq!(
+        serde_json::to_string(&resumed).expect("serialize resumed report"),
+        serde_json::to_string(&sequential).expect("serialize sequential report"),
+        "merged-shard resume must be bit-identical to the sequential run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CampaignBench {
+        grid_cells: cells,
+        shards: SHARDS as u64,
+        sequential_cells_per_sec,
+        sharded_cells_per_sec,
+        resumed_warm_cells_per_sec,
+    }
 }
 
 /// Sweeps the tiering policies over the phase-shifting workload on a pooled
@@ -220,6 +321,12 @@ fn baseline_stream_speedups(json: &str) -> Vec<f64> {
     let mut is_stream = false;
     for line in json.lines() {
         let t = line.trim();
+        // Section-aware: the stream speedups live in the leading
+        // `throughput` section; stop at the first trailing section so keys
+        // added there (campaign, tiering) can never leak into the gate.
+        if t.starts_with("\"campaign\":") || t.starts_with("\"tiering\":") {
+            break;
+        }
         if let Some(rest) = t.strip_prefix("\"pattern\":") {
             is_stream = rest.contains("\"stream\"");
         }
@@ -406,6 +513,43 @@ fn main() {
          closed form, stride elements counting the strided share)."
     );
 
+    let campaign = campaign_bench(quick);
+    print_table(
+        "Fleet campaigns — journaled cells per wall-clock second",
+        &["cells", "shards", "cells/s"],
+        &[
+            Row::new(
+                "sequential".to_string(),
+                vec![
+                    format!("{}", campaign.grid_cells),
+                    "1".to_string(),
+                    format!("{:.0}", campaign.sequential_cells_per_sec),
+                ],
+            ),
+            Row::new(
+                "sharded+merge".to_string(),
+                vec![
+                    format!("{}", campaign.grid_cells),
+                    format!("{}", campaign.shards),
+                    format!("{:.0}", campaign.sharded_cells_per_sec),
+                ],
+            ),
+            Row::new(
+                "resumed-warm".to_string(),
+                vec![
+                    format!("{}", campaign.grid_cells),
+                    "1".to_string(),
+                    format!("{:.0}", campaign.resumed_warm_cells_per_sec),
+                ],
+            ),
+        ],
+    );
+    println!(
+        "\nExpected shape: sharded throughput tracks sequential (the journal and merge are \
+         ~free per cell), and the warm resume — which replays the journal instead of \
+         re-simulating — is orders of magnitude faster."
+    );
+
     let tiering = tiering_sweep(quick);
     let tiering_rows: Vec<Row> = tiering
         .iter()
@@ -444,6 +588,7 @@ fn main() {
     );
     let report = ThroughputReport {
         throughput: results,
+        campaign,
         tiering,
     };
     write_json("BENCH_throughput", &report);

@@ -30,10 +30,12 @@
 #![deny(missing_docs)]
 
 pub mod case_bfs;
+pub mod cellkey;
 pub mod guidance;
 pub mod study;
 
 pub use case_bfs::{bfs_placement_study, BfsCaseStudy, BfsVariantResult};
+pub use cellkey::{fnv1a64, CellKey};
 pub use guidance::{
     derive_guidance, derive_migration_advice, DeploymentAdvice, Guidance, MigrationAdvice,
     PlacementPriority,

@@ -23,6 +23,10 @@
 //!   mutator) called outside the audited migration path; replayed DRAM
 //!   events land on pages, so every applied rebind must pair with
 //!   `CacheSim::replay_hard_reset`, which only the audited path guarantees.
+//! * `panic-policy` — `.unwrap()` / `.expect()` outside `#[cfg(test)]` in
+//!   the fleet-campaign modules (`crates/sched/src/{campaign,journal,fault}.rs`):
+//!   the retry/quarantine path must propagate errors, not panic, or a single
+//!   bad cell aborts the whole campaign.
 //! * `allow-syntax` — a `dismem-lint: allow(...)` directive without a
 //!   justification; an allow with no reason suppresses nothing.
 //!
@@ -177,6 +181,16 @@ const ASSIGN_OPS: &[&str] = &[
 /// containers in arbitrary order.
 const REPORT_AFFECTING_CRATES: &[&str] = &["sim", "sched", "core", "trace"];
 
+/// Files on the fleet campaign's quarantine path. A panic here aborts the
+/// whole campaign instead of quarantining one cell, so `.unwrap()` /
+/// `.expect()` outside `#[cfg(test)]` are findings: errors must propagate as
+/// `Result`s into the retry/quarantine machinery.
+const PANIC_POLICY_PATHS: &[&str] = &[
+    "crates/sched/src/campaign.rs",
+    "crates/sched/src/fault.rs",
+    "crates/sched/src/journal.rs",
+];
+
 /// Crates that express memory behaviour through [`MemoryEngine`] and must
 /// use the bulk access API.
 const BULK_API_CRATES: &[&str] = &["workloads", "lbench"];
@@ -260,6 +274,7 @@ pub fn scan_source(class: &FileClass, src: &str) -> Vec<Finding> {
         && !class.in_tests
         && !class.in_benches;
     let apply_unseeded_random = first_party;
+    let apply_panic_policy = first_party && PANIC_POLICY_PATHS.contains(&class.rel.as_str());
 
     // Crate roots must forbid unsafe code (checked on raw text so the exact
     // attribute form is enforced).
@@ -514,6 +529,29 @@ pub fn scan_source(class: &FileClass, src: &str) -> Vec<Finding> {
             );
         }
 
+        // Rule: panic-policy — unwrap/expect on the campaign quarantine path.
+        if apply_panic_policy
+            && !in_test
+            && t.is_punct(".")
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && (toks[i + 1].text == "unwrap" || toks[i + 1].text == "expect")
+            && toks[i + 2].is_punct("(")
+        {
+            push(
+                &mut findings,
+                &mut seen,
+                "panic-policy",
+                toks[i + 1].line,
+                format!(
+                    "`.{}()` on the fleet-campaign quarantine path; a panic \
+                     here aborts the whole campaign — propagate the error so \
+                     the cell is retried and quarantined instead",
+                    toks[i + 1].text
+                ),
+            );
+        }
+
         // Rule: wall-clock.
         if apply_wall_clock
             && !in_test
@@ -727,5 +765,6 @@ pub const RULES: &[&str] = &[
     "wall-clock",
     "unseeded-random",
     "unsafe-audit",
+    "panic-policy",
     "allow-syntax",
 ];

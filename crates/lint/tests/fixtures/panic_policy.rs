@@ -1,0 +1,24 @@
+//! Fixture: panics on the fleet-campaign quarantine path. Scanned as
+//! `crates/sched/src/campaign.rs`; only the two non-test panicking calls on
+//! lines 6 and 8 are findings.
+
+pub fn run_cell(value: Option<f64>) -> Result<f64, String> {
+    let v = value.unwrap();
+    let text = std::fs::read_to_string("journal.jsonl")
+        .expect("journal must exist");
+    // Non-panicking combinators are the sanctioned shape.
+    let fallback = value.unwrap_or(0.0);
+    let wrapped = value.unwrap_or_else(|| 0.0);
+    Ok(v + fallback + wrapped + text.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Result<u32, ()> = Ok(2);
+        assert_eq!(w.expect("ok"), 2);
+    }
+}

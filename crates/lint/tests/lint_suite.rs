@@ -171,6 +171,60 @@ fn vendor_unsafe_needs_a_safety_comment() {
     assert_eq!(f[0].line, 13);
 }
 
+#[test]
+fn panic_policy_fixture_flags_unwrap_and_expect_but_not_combinators() {
+    let f = scan_file_as("crates/sched/src/campaign.rs", &fixture("panic_policy.rs"));
+    assert_eq!(rules_of(&f), ["panic-policy", "panic-policy"], "{f:?}");
+    assert_eq!(f[0].line, 6); // .unwrap()
+    assert_eq!(f[1].line, 8); // .expect(...)
+    assert!(f[0].message.contains("quarantine"));
+}
+
+#[test]
+fn panic_policy_covers_the_journal_and_fault_modules_too() {
+    for rel in ["crates/sched/src/journal.rs", "crates/sched/src/fault.rs"] {
+        let f = scan_file_as(rel, &fixture("panic_policy.rs"));
+        assert_eq!(
+            rules_of(&f),
+            ["panic-policy", "panic-policy"],
+            "{rel}: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn panic_policy_does_not_apply_outside_the_campaign_modules() {
+    let f = scan_file_as("crates/sched/src/tiering.rs", &fixture("panic_policy.rs"));
+    assert!(f.is_empty(), "{f:?}");
+    let f = scan_file_as("crates/sim/src/machine.rs", &fixture("panic_policy.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn adding_an_unwrap_to_the_real_campaign_module_fails_the_gate() {
+    let path = workspace_root().join("crates/sched/src/campaign.rs");
+    let src = std::fs::read_to_string(path).expect("read campaign.rs");
+    // The committed quarantine path is panic-free outside tests.
+    assert!(
+        scan_file_as("crates/sched/src/campaign.rs", &src)
+            .iter()
+            .all(|f| f.rule != "panic-policy"),
+        "committed campaign.rs must satisfy panic-policy"
+    );
+    // The way a regressing patch would: swallow the journal error.
+    let regressed = src.replacen(
+        "writer.append(&record)?;",
+        "writer.append(&record).unwrap();",
+        1,
+    );
+    assert_ne!(regressed, src, "revert target must exist in campaign.rs");
+    let f = scan_file_as("crates/sched/src/campaign.rs", &regressed);
+    assert!(
+        f.iter().any(|f| f.rule == "panic-policy"),
+        "unwrap on the journal append must trip panic-policy: {f:?}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // The allow mechanism.
 // ---------------------------------------------------------------------------

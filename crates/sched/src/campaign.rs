@@ -1,19 +1,44 @@
-//! Monte Carlo scheduling campaigns.
+//! Monte Carlo scheduling campaigns and the fault-tolerant fleet driver.
 //!
-//! A campaign re-evaluates one workload's profiled run under many randomly
-//! drawn interference schedules (one per simulated job placement) and collects
-//! the runtime distribution. Cache behaviour and data placement are fixed by
-//! the profiling run; only the timing reacts to the co-runners, so each
-//! trial is a cheap re-timing of the recorded timeline
-//! (see [`dismem_sim::RunReport::retime`]).
+//! Two layers live here:
+//!
+//! 1. **The Monte Carlo core** ([`run_campaign`], [`compare_policies`]) —
+//!    re-evaluates one workload's profiled run under many randomly drawn
+//!    interference schedules and collects the runtime distribution. Cache
+//!    behaviour and data placement are fixed by the profiling run; only the
+//!    timing reacts to the co-runners, so each trial is a cheap re-timing of
+//!    the recorded timeline (see [`dismem_sim::RunReport::retime`]).
+//!
+//! 2. **The fleet driver** ([`run_fleet_campaign`], [`resume_campaign`]) — a
+//!    deterministic work-queue over the paper's §7 parameter grid
+//!    (workloads × scales × policies × capacities × links × seeds). Each cell
+//!    has a stable content-addressed [`CellKey`]; completed cells are
+//!    appended to a crash-consistent JSON-lines journal
+//!    (see [`crate::journal`]); a panicking cell is caught with
+//!    `std::panic::catch_unwind`, retried a bounded number of attempts, then
+//!    quarantined into the report's `failed_cells` instead of aborting the
+//!    campaign. Shards ([`Shard`]) partition the grid deterministically so
+//!    independent processes can each run a slice and
+//!    [`merge_shard_journals`](crate::journal::merge_shard_journals) can
+//!    reassemble the exact sequential report. Fault injection for all of
+//!    this lives in [`crate::fault`].
 
+use crate::fault::FaultPlan;
+use crate::journal::{CellMetrics, JournalError, JournalRecord, JournalWriter};
 use crate::policy::SchedulingPolicy;
 use dismem_analysis::{five_number_summary, mean, FiveNumberSummary};
-use dismem_sim::{InterferenceProfile, RunReport};
+use dismem_core::{fnv1a64, CellKey};
+use dismem_profiler::{pooled_config, run_workload, RunOptions};
+use dismem_sim::{InterferenceProfile, LinkParams, MachineConfig, RunReport};
+use dismem_workloads::{InputScale, WorkloadKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -223,6 +248,545 @@ pub fn compare_policies_sequential(
             config,
         ),
     }
+}
+
+/// [`compare_policies`] with per-cell isolation: a panic anywhere inside the
+/// comparison (profiled report replay, summary statistics) is caught and
+/// returned as an error message instead of unwinding into the caller's sweep.
+/// Sweep drivers use this so one poisoned cell yields a reported gap, not a
+/// lost campaign.
+pub fn compare_policies_checked(
+    workload_name: &str,
+    report: &RunReport,
+    config: &CampaignConfig,
+) -> Result<PolicyComparison, String> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        compare_policies(workload_name, report, config)
+    }))
+    .map_err(panic_message)
+}
+
+// ---------------------------------------------------------------------------
+// Fleet campaigns: work queue, journal, retry/quarantine, shards.
+// ---------------------------------------------------------------------------
+
+/// The §7 parameter grid of a fleet campaign plus its execution knobs.
+///
+/// The cartesian product of the six axis vectors is the campaign's cell set;
+/// [`FleetSpec::digest_hex`] fingerprints the whole spec (axes, retry bound
+/// and the machine-config digest) so journals are never replayed across
+/// configuration changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Workload names as registered in `dismem-workloads` (e.g. "BFS").
+    pub workloads: Vec<String>,
+    /// Input-scale labels ("tiny", "x1", "x2", "x4").
+    pub scales: Vec<String>,
+    /// Policy labels ("baseline", "aware").
+    pub policies: Vec<String>,
+    /// Local-capacity fractions in permille of the footprint.
+    pub capacities_permille: Vec<u32>,
+    /// Link-configuration labels ("upi", "upi-x2").
+    pub links: Vec<String>,
+    /// Base RNG seeds, one cell per seed.
+    pub seeds: Vec<u64>,
+    /// Attempts per cell before quarantine (≥ 1).
+    pub max_attempts: u32,
+    /// Digest of the machine configuration cells run under
+    /// (see [`MachineConfig::config_digest`]).
+    pub config_digest: u64,
+}
+
+impl FleetSpec {
+    /// A small default grid over all six paper workloads at tiny scale:
+    /// both policies × three pool capacities × the UPI link × one seed.
+    pub fn tiny_grid(config: &MachineConfig) -> FleetSpec {
+        FleetSpec {
+            workloads: WorkloadKind::all()
+                .iter()
+                .map(|k| k.name().to_string())
+                .collect(),
+            scales: vec!["tiny".to_string()],
+            policies: vec!["baseline".to_string(), "aware".to_string()],
+            capacities_permille: vec![250, 500, 750],
+            links: vec!["upi".to_string()],
+            seeds: vec![0xD15C],
+            max_attempts: 3,
+            config_digest: config.config_digest(),
+        }
+    }
+
+    /// Every cell of the grid, in deterministic axis-nested order
+    /// (workload → scale → policy → capacity → link → seed).
+    pub fn cells(&self) -> Vec<CellKey> {
+        let mut cells = Vec::new();
+        for workload in &self.workloads {
+            for scale in &self.scales {
+                for policy in &self.policies {
+                    for &capacity_permille in &self.capacities_permille {
+                        for link in &self.links {
+                            for &seed in &self.seeds {
+                                cells.push(CellKey {
+                                    workload: workload.clone(),
+                                    scale: scale.clone(),
+                                    policy: policy.clone(),
+                                    capacity_permille,
+                                    link: link.clone(),
+                                    seed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Content digest of the spec as a 16-hex-digit string: FNV-1a over the
+    /// serialized spec (which includes the machine-config digest). This is
+    /// the value stamped on every journal record.
+    pub fn digest_hex(&self) -> String {
+        let mut json = String::new();
+        Serialize::serialize_json(self, &mut json);
+        format!("{:016x}", fnv1a64(json.as_bytes()))
+    }
+}
+
+/// One deterministic slice of a fleet grid: shard `index` of `count` owns
+/// every cell whose position in [`FleetSpec::cells`] is congruent to `index`
+/// modulo `count`. Shards are disjoint, cover the grid, and are stable across
+/// processes, so each can run in its own process against its own journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index.
+    pub index: u32,
+    /// Total number of shards (≥ 1).
+    pub count: u32,
+}
+
+impl Shard {
+    /// Creates a shard, validating `index < count`.
+    pub fn new(index: u32, count: u32) -> Shard {
+        assert!(count > 0, "shard count must be at least 1");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        Shard { index, count }
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `--shard 0/3`).
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard `{text}` is not of the form i/N"))?;
+        let index: u32 = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index `{index}` is not an integer"))?;
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count `{count}` is not an integer"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// True when this shard owns the cell at grid position `cell_index`.
+    pub fn owns(&self, cell_index: usize) -> bool {
+        cell_index as u64 % u64::from(self.count) == u64::from(self.index)
+    }
+}
+
+/// Executes one cell. The fleet driver calls this inside `catch_unwind`, so
+/// implementations may panic; a panic counts as a failed attempt exactly like
+/// a returned `Err`.
+pub trait CellRunner {
+    /// Runs the cell and returns its metrics, or an error message.
+    fn run(&self, key: &CellKey) -> Result<CellMetrics, String>;
+}
+
+/// The production [`CellRunner`]: profiles the workload under the cell's
+/// pooling configuration and prices it with a Monte Carlo interference
+/// campaign seeded from the cell key.
+#[derive(Debug, Clone)]
+pub struct SimCellRunner {
+    /// Base machine configuration; the cell's link and capacity axes are
+    /// applied on top of it.
+    pub base: MachineConfig,
+    /// Monte Carlo trials per cell.
+    pub runs: usize,
+    /// Interference epochs per trial.
+    pub epochs_per_run: usize,
+}
+
+impl SimCellRunner {
+    /// Runner with the paper's campaign depth (100 trials × 8 epochs).
+    pub fn new(base: MachineConfig) -> SimCellRunner {
+        SimCellRunner {
+            base,
+            runs: 100,
+            epochs_per_run: 8,
+        }
+    }
+
+    /// Runner with a reduced Monte Carlo depth for smoke tests and CI.
+    pub fn quick(base: MachineConfig) -> SimCellRunner {
+        SimCellRunner {
+            base,
+            runs: 20,
+            epochs_per_run: 4,
+        }
+    }
+}
+
+impl CellRunner for SimCellRunner {
+    fn run(&self, key: &CellKey) -> Result<CellMetrics, String> {
+        let kind = WorkloadKind::all()
+            .into_iter()
+            .find(|k| k.name() == key.workload)
+            .ok_or_else(|| format!("unknown workload `{}`", key.workload))?;
+        let workload = if key.scale == "tiny" {
+            kind.instantiate_tiny()
+        } else {
+            let scale = [InputScale::X1, InputScale::X2, InputScale::X4]
+                .into_iter()
+                .find(|s| s.label() == key.scale)
+                .ok_or_else(|| format!("unknown scale `{}`", key.scale))?;
+            kind.instantiate(scale)
+        };
+        let policy = match key.policy.as_str() {
+            "baseline" => SchedulingPolicy::RandomBaseline,
+            "aware" => SchedulingPolicy::InterferenceAware,
+            other => return Err(format!("unknown policy `{other}`")),
+        };
+        let mut base = self.base.clone();
+        base.link = match key.link.as_str() {
+            "upi" => LinkParams::upi(),
+            // A hypothetical next-generation link with twice the payload and
+            // raw bandwidth, for what-if sweeps.
+            "upi-x2" => {
+                let mut link = LinkParams::upi();
+                link.data_bandwidth_bps *= 2.0;
+                link.raw_bandwidth_bps *= 2.0;
+                link
+            }
+            other => return Err(format!("unknown link `{other}`")),
+        };
+        if key.capacity_permille > 1000 {
+            return Err(format!(
+                "capacity {}‰ exceeds the footprint",
+                key.capacity_permille
+            ));
+        }
+        let local_fraction = f64::from(key.capacity_permille) / 1000.0;
+        let config = pooled_config(&base, workload.as_ref(), local_fraction);
+        let report = run_workload(workload.as_ref(), &RunOptions::new(config));
+        let campaign = run_campaign(
+            &key.workload,
+            &report,
+            policy,
+            &CampaignConfig {
+                runs: self.runs,
+                epochs_per_run: self.epochs_per_run,
+                seed: key.seed,
+            },
+        );
+        Ok(CellMetrics {
+            trials: campaign.runtimes_s.len() as u32,
+            mean_runtime_s: campaign.mean_s,
+            min_runtime_s: campaign.summary.min,
+            q1_runtime_s: campaign.summary.q1,
+            median_runtime_s: campaign.summary.median,
+            q3_runtime_s: campaign.summary.q3,
+            max_runtime_s: campaign.summary.max,
+            remote_access_ratio: report.remote_access_ratio(),
+        })
+    }
+}
+
+/// A successfully completed cell in a [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CompletedCell {
+    /// The cell's identity.
+    pub key: CellKey,
+    /// Attempts consumed (> 1 when retries healed a transient failure).
+    pub attempts: u32,
+    /// The cell's metrics.
+    pub metrics: CellMetrics,
+}
+
+/// A quarantined cell: every attempt failed, the campaign carried on.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FailedCell {
+    /// The cell's identity.
+    pub key: CellKey,
+    /// Attempts consumed (equals the spec's `max_attempts`).
+    pub attempts: u32,
+    /// The final attempt's panic or error message.
+    pub error: String,
+}
+
+/// Final report of a fleet campaign. Cells are sorted by canonical id, so two
+/// reports over the same journal content serialize byte-identically — the
+/// property the fault-injection suite asserts.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CampaignReport {
+    /// Spec digest every contributing record was validated against.
+    pub spec_digest: String,
+    /// Number of cells the (possibly sharded) campaign owns.
+    pub total_cells: u64,
+    /// Successful cells, sorted by cell id.
+    pub completed: Vec<CompletedCell>,
+    /// Quarantined cells, sorted by cell id.
+    pub failed_cells: Vec<FailedCell>,
+}
+
+/// What a resume replayed versus re-ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeStats {
+    /// Records replayed from the journal (digest-matching, in-grid).
+    pub replayed: u64,
+    /// Records dropped because their spec digest mismatched.
+    pub digest_rejected: u64,
+    /// Records dropped because their cell is not in this shard's grid slice.
+    pub unknown_cells: u64,
+    /// True when the journal ended in a torn line (dropped and re-run).
+    pub torn_tail: bool,
+    /// Cells executed (and journaled) by this invocation.
+    pub reran: u64,
+}
+
+/// Fleet-campaign failure modes.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Journal I/O, corruption, duplicate or digest error.
+    Journal(JournalError),
+    /// `run_fleet_campaign` was pointed at a journal that already holds
+    /// records; use [`resume_campaign`] to continue it.
+    JournalNotEmpty {
+        /// Records already present.
+        records: u64,
+    },
+    /// The campaign was stopped by an injected [`FaultPlan`] kill.
+    Interrupted {
+        /// Records durable in the journal at the kill point.
+        cells_journaled: u64,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Journal(e) => write!(f, "{e}"),
+            CampaignError::JournalNotEmpty { records } => write!(
+                f,
+                "journal already holds {records} records; use resume_campaign"
+            ),
+            CampaignError::Interrupted { cells_journaled } => write!(
+                f,
+                "campaign interrupted by fault plan after {cells_journaled} journaled cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> CampaignError {
+        CampaignError::Journal(e)
+    }
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs a fresh fleet campaign (optionally one shard of it), journaling every
+/// cell as it completes. The journal at `journal_path` must be absent or
+/// empty — continuing an existing journal is [`resume_campaign`]'s job.
+pub fn run_fleet_campaign(
+    spec: &FleetSpec,
+    runner: &dyn CellRunner,
+    journal_path: &Path,
+    shard: Option<Shard>,
+    fault: &FaultPlan,
+) -> Result<CampaignReport, CampaignError> {
+    let writer = JournalWriter::open(journal_path)?;
+    if !writer.is_empty() {
+        return Err(CampaignError::JournalNotEmpty {
+            records: writer.len(),
+        });
+    }
+    drive(spec, runner, journal_path, shard, fault).map(|(report, _)| report)
+}
+
+/// Resumes a fleet campaign from its journal: replays digest-matching
+/// records, drops a torn trailing line, re-runs only the missing cells, and
+/// returns a report bit-identical to the one an uninterrupted run produces.
+/// Records with a foreign spec digest are rejected (their cells re-run); two
+/// digest-matching records for one cell are [`JournalError::DuplicateKey`].
+pub fn resume_campaign(
+    spec: &FleetSpec,
+    runner: &dyn CellRunner,
+    journal_path: &Path,
+    shard: Option<Shard>,
+    fault: &FaultPlan,
+) -> Result<(CampaignReport, ResumeStats), CampaignError> {
+    drive(spec, runner, journal_path, shard, fault)
+}
+
+fn drive(
+    spec: &FleetSpec,
+    runner: &dyn CellRunner,
+    journal_path: &Path,
+    shard: Option<Shard>,
+    fault: &FaultPlan,
+) -> Result<(CampaignReport, ResumeStats), CampaignError> {
+    assert!(spec.max_attempts >= 1, "max_attempts must be at least 1");
+    let digest = spec.digest_hex();
+    let cells: Vec<CellKey> = spec
+        .cells()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| shard.map_or(true, |s| s.owns(*i)))
+        .map(|(_, key)| key)
+        .collect();
+    let cell_ids: BTreeSet<String> = cells.iter().map(CellKey::id).collect();
+
+    // Replay the journal. The writer re-reads the same file; opening it first
+    // would be equivalent, but loading explicitly keeps the torn-tail flag.
+    let loaded = crate::journal::load_journal(journal_path)?;
+    let mut stats = ResumeStats {
+        torn_tail: loaded.torn_tail,
+        ..ResumeStats::default()
+    };
+    let mut done: BTreeMap<String, JournalRecord> = BTreeMap::new();
+    for record in loaded.records {
+        let id = record.key.id();
+        if record.digest != digest {
+            stats.digest_rejected += 1;
+            continue;
+        }
+        if !cell_ids.contains(&id) {
+            stats.unknown_cells += 1;
+            continue;
+        }
+        if done.insert(id.clone(), record).is_some() {
+            return Err(JournalError::DuplicateKey(id).into());
+        }
+        stats.replayed += 1;
+    }
+
+    let mut writer = JournalWriter::open(journal_path)?;
+
+    // Deterministic work queue: missing cells in grid order. A failed attempt
+    // re-enters at the back — that attempt-counted backoff lets every other
+    // pending cell run before the retry, with no wall clocks involved.
+    let mut queue: VecDeque<(CellKey, u32)> = cells
+        .iter()
+        .filter(|key| !done.contains_key(&key.id()))
+        .map(|key| (key.clone(), 1))
+        .collect();
+
+    while let Some((key, attempt)) = queue.pop_front() {
+        let id = key.id();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fault.poison_check(&id, attempt);
+            runner.run(&key)
+        }))
+        .unwrap_or_else(|payload| Err(panic_message(payload)));
+        let record = match outcome {
+            Ok(metrics) => JournalRecord {
+                digest: digest.clone(),
+                key,
+                attempts: attempt,
+                status: "ok".to_string(),
+                metrics: Some(metrics),
+                error: None,
+            },
+            Err(error) => {
+                if attempt < spec.max_attempts {
+                    queue.push_back((key, attempt + 1));
+                    continue;
+                }
+                JournalRecord {
+                    digest: digest.clone(),
+                    key,
+                    attempts: attempt,
+                    status: "failed".to_string(),
+                    metrics: None,
+                    error: Some(error),
+                }
+            }
+        };
+        writer.append(&record)?;
+        done.insert(id, record);
+        stats.reran += 1;
+        if fault.should_kill(writer.len()) {
+            fault.apply_truncation(journal_path)?;
+            return Err(CampaignError::Interrupted {
+                cells_journaled: writer.len(),
+            });
+        }
+    }
+
+    let report = build_report(&digest, cells.len() as u64, &done)?;
+    Ok((report, stats))
+}
+
+fn build_report(
+    digest: &str,
+    total_cells: u64,
+    done: &BTreeMap<String, JournalRecord>,
+) -> Result<CampaignReport, CampaignError> {
+    let mut completed = Vec::new();
+    let mut failed_cells = Vec::new();
+    // BTreeMap iteration is id-sorted: the report's order is the journal's
+    // total order regardless of execution or replay order.
+    for record in done.values() {
+        match (record.status.as_str(), &record.metrics, &record.error) {
+            ("ok", Some(metrics), _) => completed.push(CompletedCell {
+                key: record.key.clone(),
+                attempts: record.attempts,
+                metrics: metrics.clone(),
+            }),
+            ("failed", _, Some(error)) => failed_cells.push(FailedCell {
+                key: record.key.clone(),
+                attempts: record.attempts,
+                error: error.clone(),
+            }),
+            _ => {
+                // Unreachable for records built here or validated by
+                // `JournalRecord::from_json`; surfaced as corruption rather
+                // than panicking (quarantine path must not panic).
+                return Err(JournalError::Corrupt {
+                    line: 0,
+                    message: format!(
+                        "record for cell {} violates the status/metrics/error invariant",
+                        record.key.id()
+                    ),
+                }
+                .into());
+            }
+        }
+    }
+    Ok(CampaignReport {
+        spec_digest: digest.to_string(),
+        total_cells,
+        completed,
+        failed_cells,
+    })
 }
 
 #[cfg(test)]

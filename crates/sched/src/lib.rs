@@ -20,17 +20,37 @@
 //! workloads are re-simulated under page promotion/demotion policies
 //! (static / hot-promote / periodic-rebalance) and each placement is then
 //! priced under the interference campaigns above.
+//!
+//! Fleet-scale parameter campaigns are driven by the fault-tolerant
+//! work-queue in [`campaign`] (see [`campaign::run_fleet_campaign`] and
+//! [`campaign::resume_campaign`]): cells are journaled crash-consistently
+//! ([`journal`]), panicking cells are retried and quarantined, shards run as
+//! independent processes, and the whole contract is proven by the
+//! fault-injection harness in [`fault`].
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod fault;
+pub mod journal;
 pub mod policy;
 pub mod tiering;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, PolicyComparison};
+pub use campaign::compare_policies_checked;
+pub use campaign::{
+    resume_campaign, run_campaign, run_fleet_campaign, CampaignConfig, CampaignError,
+    CampaignReport, CampaignResult, CellRunner, CompletedCell, FailedCell, FleetSpec,
+    PolicyComparison, ResumeStats, Shard, SimCellRunner,
+};
+pub use fault::FaultPlan;
+pub use journal::{
+    load_journal, merge_shard_journals, CellMetrics, JournalError, JournalRecord, JournalWriter,
+    LoadedJournal,
+};
 pub use policy::SchedulingPolicy;
 pub use tiering::{
-    default_specs, run_with_tiering, sweep_tiering_matrix, sweep_tiering_policies,
-    CapacityTieringSweep, TieringOutcome, TieringSweep, WorkloadTieringStudy,
+    default_specs, run_with_tiering, run_with_tiering_checked, sweep_tiering_matrix,
+    sweep_tiering_policies, CapacityTieringSweep, PolicyFailure, TieringOutcome, TieringSweep,
+    WorkloadTieringStudy,
 };

@@ -10,7 +10,7 @@
 //! which is exactly the trade-off an operator deciding on a tiering daemon
 //! cares about.
 
-use crate::campaign::{run_campaign_sequential, CampaignConfig};
+use crate::campaign::{panic_message, run_campaign_sequential, CampaignConfig};
 use crate::policy::SchedulingPolicy;
 use dismem_profiler::pooled_config;
 use dismem_sim::tiering::{HotPromote, PeriodicRebalance};
@@ -18,6 +18,7 @@ use dismem_sim::{Machine, MachineConfig, RunReport, TieringReport, TieringSpec};
 use dismem_workloads::Workload;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::panic::AssertUnwindSafe;
 
 /// Result of one tiering policy in a sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +51,18 @@ pub struct TieringOutcome {
     pub link_raw_bytes: u64,
 }
 
+/// A policy whose simulation or pricing campaign panicked or failed. The
+/// sweep reports the gap here instead of unwinding and losing the rest of
+/// the matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyFailure {
+    /// Label of the failed spec (`static`, `hot-promote`,
+    /// `periodic-rebalance`).
+    pub policy: String,
+    /// Panic or error message of the failed cell.
+    pub error: String,
+}
+
 /// A full policy sweep for one workload on one machine configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TieringSweep {
@@ -57,8 +70,11 @@ pub struct TieringSweep {
     pub workload: String,
     /// Input description.
     pub input: String,
-    /// One outcome per requested policy, in request order.
+    /// One outcome per *successful* policy, in request order.
     pub outcomes: Vec<TieringOutcome>,
+    /// Policies whose cell panicked or failed, in request order. Empty on a
+    /// healthy sweep.
+    pub failed_policies: Vec<PolicyFailure>,
 }
 
 impl TieringSweep {
@@ -159,12 +175,38 @@ pub fn sweep_tiering_matrix(
     let cells = local_fractions
         .iter()
         .map(|&local_fraction| {
-            let config = pooled_config(base, workload, local_fraction);
-            let local_capacity_bytes = config.local.capacity_bytes.unwrap_or(0);
-            CapacityTieringSweep {
-                local_fraction,
-                local_capacity_bytes,
-                sweep: sweep_tiering_policies(workload, &config, specs, campaign),
+            // Deriving the cell's machine config can itself panic (degenerate
+            // fractions); report the whole capacity point as failed policies
+            // rather than losing the matrix.
+            let config = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pooled_config(base, workload, local_fraction)
+            }))
+            .map_err(panic_message);
+            match config {
+                Ok(config) => {
+                    let local_capacity_bytes = config.local.capacity_bytes.unwrap_or(0);
+                    CapacityTieringSweep {
+                        local_fraction,
+                        local_capacity_bytes,
+                        sweep: sweep_tiering_policies(workload, &config, specs, campaign),
+                    }
+                }
+                Err(error) => CapacityTieringSweep {
+                    local_fraction,
+                    local_capacity_bytes: 0,
+                    sweep: TieringSweep {
+                        workload: workload.name().to_string(),
+                        input: workload.input_description(),
+                        outcomes: Vec::new(),
+                        failed_policies: specs
+                            .iter()
+                            .map(|spec| PolicyFailure {
+                                policy: spec.label().to_string(),
+                                error: error.clone(),
+                            })
+                            .collect(),
+                    },
+                },
             }
         })
         .collect();
@@ -202,6 +244,19 @@ pub fn run_with_tiering(
     machine.finish()
 }
 
+/// [`run_with_tiering`] with panic isolation: a panicking simulation returns
+/// its panic message instead of unwinding into the sweep.
+pub fn run_with_tiering_checked(
+    workload: &dyn Workload,
+    config: &MachineConfig,
+    spec: &TieringSpec,
+) -> Result<RunReport, String> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_with_tiering(workload, config, spec)
+    }))
+    .map_err(panic_message)
+}
+
 /// Sweeps `specs` for one workload: one full simulation per policy (in
 /// parallel), followed by a sequential interference campaign per run. The
 /// result is deterministic for a given `(config, specs, campaign)` input.
@@ -223,6 +278,7 @@ pub fn run_with_tiering(
 ///     &campaign,
 /// );
 /// assert_eq!(sweep.outcomes.len(), 3); // static, hot-promote, periodic-rebalance
+/// assert!(sweep.failed_policies.is_empty());
 /// let hot = sweep.measured().expect("dynamic policies measure dwell");
 /// assert!(hot.tiering.epochs > 0 && hot.mean_dwell_epochs > 0.0);
 /// ```
@@ -232,57 +288,70 @@ pub fn sweep_tiering_policies(
     specs: &[TieringSpec],
     campaign: &CampaignConfig,
 ) -> TieringSweep {
-    let reports: Vec<RunReport> = specs
+    // Each policy cell — simulation plus pricing campaign — runs isolated:
+    // a panic becomes that cell's Err and the rest of the sweep completes.
+    let results: Vec<Result<(RunReport, f64), String>> = specs
         .par_iter()
-        .map(|spec| run_with_tiering(workload, config, spec))
-        .collect();
-    let means: Vec<f64> = reports
-        .par_iter()
-        .map(|report| {
-            run_campaign_sequential(
-                workload.name(),
-                report,
-                SchedulingPolicy::RandomBaseline,
-                campaign,
-            )
-            .mean_s
+        .map(|spec| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let report = run_with_tiering(workload, config, spec);
+                let mean = run_campaign_sequential(
+                    workload.name(),
+                    &report,
+                    SchedulingPolicy::RandomBaseline,
+                    campaign,
+                )
+                .mean_s;
+                (report, mean)
+            }))
+            .map_err(panic_message)
         })
         .collect();
 
-    // Without a static run in the sweep there is no reference to compare
-    // against, and the speedup fields stay at their documented 1.0.
-    let static_idx = specs.iter().position(|s| matches!(s, TieringSpec::Static));
-    let static_runtime = static_idx.map(|i| reports[i].total_runtime_s);
-    let static_mean = static_idx.map(|i| means[i]);
-
-    let outcomes = specs
+    // Without a *successful* static run in the sweep there is no reference
+    // to compare against, and the speedup fields stay at their documented 1.0.
+    let static_result = specs
         .iter()
-        .zip(&reports)
-        .zip(&means)
-        .map(|((spec, report), &mean_loaded)| TieringOutcome {
-            policy: report.tiering.policy.clone(),
-            spec: *spec,
-            runtime_s: report.total_runtime_s,
-            speedup_vs_static: match static_runtime {
-                Some(s) if report.total_runtime_s > 0.0 => s / report.total_runtime_s,
-                _ => 1.0,
-            },
-            mean_loaded_runtime_s: mean_loaded,
-            loaded_speedup_vs_static: match static_mean {
-                Some(s) if mean_loaded > 0.0 => s / mean_loaded,
-                _ => 1.0,
-            },
-            remote_access_ratio: report.remote_access_ratio(),
-            mean_dwell_epochs: report.tiering.mean_dwell_epochs(),
-            tiering: report.tiering.clone(),
-            migration_link_raw_bytes: report.migration_link_raw_bytes(),
-            link_raw_bytes: report.total.link_raw_bytes,
-        })
-        .collect();
+        .zip(&results)
+        .find(|(spec, _)| matches!(spec, TieringSpec::Static))
+        .and_then(|(_, result)| result.as_ref().ok());
+    let static_runtime = static_result.map(|(report, _)| report.total_runtime_s);
+    let static_mean = static_result.map(|&(_, mean)| mean);
+
+    let mut outcomes = Vec::new();
+    let mut failed_policies = Vec::new();
+    for (spec, result) in specs.iter().zip(&results) {
+        match result {
+            Ok((report, mean_loaded)) => outcomes.push(TieringOutcome {
+                policy: report.tiering.policy.clone(),
+                spec: *spec,
+                runtime_s: report.total_runtime_s,
+                speedup_vs_static: match static_runtime {
+                    Some(s) if report.total_runtime_s > 0.0 => s / report.total_runtime_s,
+                    _ => 1.0,
+                },
+                mean_loaded_runtime_s: *mean_loaded,
+                loaded_speedup_vs_static: match static_mean {
+                    Some(s) if *mean_loaded > 0.0 => s / mean_loaded,
+                    _ => 1.0,
+                },
+                remote_access_ratio: report.remote_access_ratio(),
+                mean_dwell_epochs: report.tiering.mean_dwell_epochs(),
+                tiering: report.tiering.clone(),
+                migration_link_raw_bytes: report.migration_link_raw_bytes(),
+                link_raw_bytes: report.total.link_raw_bytes,
+            }),
+            Err(error) => failed_policies.push(PolicyFailure {
+                policy: spec.label().to_string(),
+                error: error.clone(),
+            }),
+        }
+    }
     TieringSweep {
         workload: workload.name().to_string(),
         input: workload.input_description(),
         outcomes,
+        failed_policies,
     }
 }
 
@@ -410,5 +479,74 @@ mod tests {
         let sweep = sweep_tiering_policies(&workload, &config, &specs, &small_campaign());
         let best = sweep.best().unwrap();
         assert!(sweep.outcomes.iter().all(|o| o.runtime_s >= best.runtime_s));
+        assert!(sweep.failed_policies.is_empty());
+    }
+
+    /// A workload whose simulation always panics, for exercising the
+    /// quarantine path of the sweeps.
+    struct PoisonedWorkload;
+
+    impl dismem_workloads::Workload for PoisonedWorkload {
+        fn name(&self) -> &'static str {
+            "Poisoned"
+        }
+        fn description(&self) -> &'static str {
+            "always panics"
+        }
+        fn input_description(&self) -> String {
+            "poison".to_string()
+        }
+        fn expected_footprint_bytes(&self) -> u64 {
+            1 << 20
+        }
+        fn run(&self, _engine: &mut dyn dismem_trace::MemoryEngine) {
+            panic!("poisoned workload cell");
+        }
+    }
+
+    #[test]
+    fn panicking_policy_cell_becomes_a_reported_gap() {
+        let specs = default_specs(2048, 12.0);
+        let config = MachineConfig::test_config().with_local_capacity(1 << 19);
+        let sweep = sweep_tiering_policies(&PoisonedWorkload, &config, &specs, &small_campaign());
+        assert!(sweep.outcomes.is_empty());
+        assert_eq!(sweep.failed_policies.len(), 3, "{sweep:?}");
+        assert_eq!(sweep.failed_policies[0].policy, "static");
+        assert!(sweep.failed_policies[0]
+            .error
+            .contains("poisoned workload cell"));
+        // Lookup helpers degrade to None instead of panicking on the gap.
+        assert!(sweep.static_outcome().is_none());
+        assert!(sweep.best().is_none());
+        assert!(sweep.measured().is_none());
+    }
+
+    #[test]
+    fn matrix_survives_a_poisoned_workload() {
+        let specs = default_specs(2048, 12.0);
+        let study = sweep_tiering_matrix(
+            &PoisonedWorkload,
+            &MachineConfig::test_config(),
+            &[0.75, 0.25],
+            &specs,
+            &small_campaign(),
+        );
+        assert_eq!(study.cells.len(), 2);
+        for cell in &study.cells {
+            assert_eq!(cell.sweep.failed_policies.len(), 3);
+            assert!(cell.sweep.outcomes.is_empty());
+        }
+        assert_eq!(study.best_speedup_vs_static(), 1.0);
+    }
+
+    #[test]
+    fn checked_single_run_reports_the_panic() {
+        let config = MachineConfig::test_config().with_local_capacity(1 << 19);
+        let err = run_with_tiering_checked(&PoisonedWorkload, &config, &TieringSpec::Static)
+            .expect_err("poisoned workload must fail");
+        assert!(err.contains("poisoned workload cell"), "{err}");
+        let (workload, config) = sweep_setup();
+        let ok = run_with_tiering_checked(&workload, &config, &TieringSpec::Static);
+        assert!(ok.is_ok());
     }
 }

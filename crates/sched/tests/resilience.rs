@@ -1,0 +1,432 @@
+//! Fault-injection suite for the fleet-campaign crash-consistency contract.
+//!
+//! Every test here asserts *full-report bit-identity*: the serialized JSON of
+//! a resumed / sharded / quarantined campaign must equal the uninterrupted
+//! sequential reference byte for byte. That is the strongest form of the
+//! contract — it proves the journal round-trip (including floats), the
+//! deterministic work queue, and the id-sorted report construction all agree.
+
+use dismem_core::{fnv1a64, CellKey};
+use dismem_sched::{
+    load_journal, merge_shard_journals, resume_campaign, run_fleet_campaign, CampaignError,
+    CampaignReport, CellMetrics, CellRunner, FaultPlan, FleetSpec, JournalError, Shard,
+    SimCellRunner,
+};
+use dismem_sim::MachineConfig;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dismem-resilience-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{name}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Cheap, fully deterministic runner: metrics are pure functions of the cell
+/// id, with non-trivial fractional parts so the float round-trip is actually
+/// exercised (an integral value would serialize trivially).
+struct SyntheticRunner;
+
+impl CellRunner for SyntheticRunner {
+    fn run(&self, key: &CellKey) -> Result<CellMetrics, String> {
+        let h = fnv1a64(key.id().as_bytes());
+        let base = 1.0 + (h % 1000) as f64 / 997.0;
+        Ok(CellMetrics {
+            trials: 8,
+            mean_runtime_s: base * 1.234_567_890_123_456_7,
+            min_runtime_s: base,
+            q1_runtime_s: base * 1.1,
+            median_runtime_s: base * 1.2,
+            q3_runtime_s: base * 1.3,
+            max_runtime_s: base * 1.7,
+            remote_access_ratio: (h % 997) as f64 / 997.0,
+        })
+    }
+}
+
+/// 3 workloads × 2 policies × 2 capacities × 2 seeds = 24 cells.
+fn spec() -> FleetSpec {
+    FleetSpec {
+        workloads: vec!["A".to_string(), "B".to_string(), "C".to_string()],
+        scales: vec!["tiny".to_string()],
+        policies: vec!["baseline".to_string(), "aware".to_string()],
+        capacities_permille: vec![250, 750],
+        links: vec!["upi".to_string()],
+        seeds: vec![1, 2],
+        max_attempts: 3,
+        config_digest: 0xABCD,
+    }
+}
+
+const CELLS: u64 = 24;
+
+fn json(report: &CampaignReport) -> String {
+    serde_json::to_string(report).expect("serialize report")
+}
+
+/// The uninterrupted sequential reference report and its serialized form.
+fn reference(name: &str) -> String {
+    let path = temp_journal(&format!("{name}-reference"));
+    let report = run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+        .expect("reference run");
+    assert_eq!(report.completed.len() as u64, CELLS);
+    assert!(report.failed_cells.is_empty());
+    json(&report)
+}
+
+// ---------------------------------------------------------------------------
+// Kill and resume.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resume_after_kill_is_bit_identical_to_uninterrupted_run() {
+    let expected = reference("kill-fixed");
+    let path = temp_journal("kill-fixed");
+    let killed = run_fleet_campaign(
+        &spec(),
+        &SyntheticRunner,
+        &path,
+        None,
+        &FaultPlan::kill_after(7),
+    );
+    match killed {
+        Err(CampaignError::Interrupted { cells_journaled }) => assert_eq!(cells_journaled, 7),
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+    let (report, stats) =
+        resume_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+            .expect("resume");
+    assert_eq!(stats.replayed, 7);
+    assert_eq!(stats.reran, CELLS - 7);
+    assert!(!stats.torn_tail);
+    assert_eq!(
+        json(&report),
+        expected,
+        "resumed report must be bit-identical"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn resume_after_random_kill_matches_reference(k in 1u64..CELLS) {
+        let expected = reference(&format!("kill-prop-{k}"));
+        let path = temp_journal(&format!("kill-prop-{k}"));
+        let killed = run_fleet_campaign(
+            &spec(),
+            &SyntheticRunner,
+            &path,
+            None,
+            &FaultPlan::kill_after(k),
+        );
+        prop_assert!(matches!(
+            killed,
+            Err(CampaignError::Interrupted { cells_journaled }) if cells_journaled == k
+        ));
+        let (report, stats) =
+            resume_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+                .expect("resume");
+        prop_assert_eq!(stats.replayed, k);
+        prop_assert_eq!(stats.reran, CELLS - k);
+        prop_assert_eq!(json(&report), expected);
+    }
+}
+
+#[test]
+fn resume_is_idempotent() {
+    let path = temp_journal("idempotent");
+    let report = run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+        .expect("fresh run");
+    let (again, stats) =
+        resume_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+            .expect("resume of complete journal");
+    assert_eq!(stats.reran, 0);
+    assert_eq!(stats.replayed, CELLS);
+    assert_eq!(json(&again), json(&report));
+}
+
+#[test]
+fn fresh_run_refuses_a_nonempty_journal() {
+    let path = temp_journal("nonempty");
+    run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+        .expect("fresh run");
+    let second = run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none());
+    assert!(matches!(
+        second,
+        Err(CampaignError::JournalNotEmpty { records: CELLS })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Torn journals.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_trailing_record_is_tolerated_and_rerun() {
+    let expected = reference("torn-tail");
+    let path = temp_journal("torn-tail");
+    let killed = run_fleet_campaign(
+        &spec(),
+        &SyntheticRunner,
+        &path,
+        None,
+        &FaultPlan::kill_after(5).with_torn_final_record(),
+    );
+    assert!(matches!(killed, Err(CampaignError::Interrupted { .. })));
+    let loaded = load_journal(&path).expect("load torn journal");
+    assert!(loaded.torn_tail, "final line must be torn");
+    assert_eq!(loaded.records.len(), 4, "only the intact records survive");
+    let (report, stats) =
+        resume_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+            .expect("resume over torn tail");
+    assert!(stats.torn_tail);
+    assert_eq!(stats.replayed, 4);
+    assert_eq!(stats.reran, CELLS - 4, "torn cell must re-run");
+    assert_eq!(json(&report), expected);
+}
+
+#[test]
+fn corruption_before_the_final_line_is_an_error() {
+    let path = temp_journal("torn-middle");
+    let killed = run_fleet_campaign(
+        &spec(),
+        &SyntheticRunner,
+        &path,
+        None,
+        &FaultPlan::kill_after(6),
+    );
+    assert!(matches!(killed, Err(CampaignError::Interrupted { .. })));
+    // Damage line 3 of 6: durable history has been lost, resume must refuse.
+    let content = std::fs::read_to_string(&path).expect("read journal");
+    let mut lines: Vec<&str> = content.lines().collect();
+    let half = &lines[2][..lines[2].len() / 2];
+    lines[2] = half;
+    std::fs::write(&path, lines.join("\n")).expect("corrupt journal");
+    let resumed = resume_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none());
+    match resumed {
+        Err(CampaignError::Journal(JournalError::Corrupt { line, .. })) => assert_eq!(line, 3),
+        other => panic!("expected Corrupt at line 3, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digest mismatches.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn foreign_digest_records_are_rejected_and_their_cells_rerun() {
+    let path = temp_journal("digest");
+    run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+        .expect("run under config A");
+    // Same grid, different machine config: every journaled record is foreign.
+    let changed = FleetSpec {
+        config_digest: 0xEF01,
+        ..spec()
+    };
+    let (report, stats) =
+        resume_campaign(&changed, &SyntheticRunner, &path, None, &FaultPlan::none())
+            .expect("resume under config B");
+    assert_eq!(stats.digest_rejected, CELLS);
+    assert_eq!(stats.replayed, 0);
+    assert_eq!(stats.reran, CELLS);
+    assert_eq!(report.spec_digest, changed.digest_hex());
+    // The journal now holds both generations; a further resume under config B
+    // replays only its own records and runs nothing.
+    let (again, stats) =
+        resume_campaign(&changed, &SyntheticRunner, &path, None, &FaultPlan::none())
+            .expect("second resume under config B");
+    assert_eq!(stats.digest_rejected, CELLS);
+    assert_eq!(stats.replayed, CELLS);
+    assert_eq!(stats.reran, 0);
+    assert_eq!(json(&again), json(&report));
+}
+
+#[test]
+fn duplicate_records_for_one_cell_are_rejected() {
+    let path = temp_journal("duplicate");
+    run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+        .expect("fresh run");
+    // Duplicate the first line, as a buggy external merge would.
+    let content = std::fs::read_to_string(&path).expect("read journal");
+    let first = content.lines().next().expect("first line").to_string();
+    std::fs::write(&path, format!("{first}\n{content}")).expect("duplicate record");
+    let resumed = resume_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none());
+    assert!(matches!(
+        resumed,
+        Err(CampaignError::Journal(JournalError::DuplicateKey(_)))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Poison: retry then quarantine.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn permanently_poisoned_cell_is_quarantined_not_fatal() {
+    let path = temp_journal("poison-forever");
+    let victim = spec().cells()[5].id();
+    let fault = FaultPlan::none().with_poison_forever(&victim);
+    let report = run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &fault)
+        .expect("campaign must survive the poisoned cell");
+    assert_eq!(report.completed.len() as u64, CELLS - 1);
+    assert_eq!(report.failed_cells.len(), 1);
+    let failed = &report.failed_cells[0];
+    assert_eq!(failed.key.id(), victim);
+    assert_eq!(failed.attempts, 3, "all attempts must be consumed");
+    assert!(
+        failed.error.contains("poisoned cell"),
+        "panic message must be preserved: {}",
+        failed.error
+    );
+    assert_eq!(report.total_cells, CELLS);
+    // The quarantine is durable: a resume replays it without re-running.
+    let (again, stats) =
+        resume_campaign(&spec(), &SyntheticRunner, &path, None, &FaultPlan::none())
+            .expect("resume");
+    assert_eq!(stats.reran, 0);
+    assert_eq!(json(&again), json(&report));
+}
+
+#[test]
+fn transiently_poisoned_cell_heals_on_retry() {
+    let path = temp_journal("poison-once");
+    let victim = spec().cells()[0].id();
+    let fault = FaultPlan::none().with_poison(&victim, 1);
+    let report = run_fleet_campaign(&spec(), &SyntheticRunner, &path, None, &fault)
+        .expect("campaign with healing cell");
+    assert!(report.failed_cells.is_empty());
+    let healed = report
+        .completed
+        .iter()
+        .find(|c| c.key.id() == victim)
+        .expect("healed cell present");
+    assert_eq!(healed.attempts, 2, "first attempt panicked, second healed");
+    assert!(report
+        .completed
+        .iter()
+        .filter(|c| c.key.id() != victim)
+        .all(|c| c.attempts == 1));
+}
+
+// ---------------------------------------------------------------------------
+// Shards.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_partition_is_disjoint_and_covers_the_grid() {
+    let cells = spec().cells();
+    for count in [1u32, 2, 3, 5] {
+        let mut owned = 0usize;
+        for i in 0..cells.len() {
+            let owners = (0..count).filter(|&s| Shard::new(s, count).owns(i)).count();
+            assert_eq!(owners, 1, "cell {i} must have exactly one owner");
+            owned += 1;
+        }
+        assert_eq!(owned, cells.len());
+    }
+    assert_eq!(Shard::parse("2/5"), Ok(Shard { index: 2, count: 5 }));
+    assert!(Shard::parse("5/5").is_err());
+    assert!(Shard::parse("0/0").is_err());
+    assert!(Shard::parse("nope").is_err());
+}
+
+#[test]
+fn merged_shards_are_bit_identical_to_the_sequential_reference() {
+    let expected = reference("shards");
+    let shard_count = 3u32;
+    let mut shard_paths = Vec::new();
+    for index in 0..shard_count {
+        let path = temp_journal(&format!("shards-{index}"));
+        let report = run_fleet_campaign(
+            &spec(),
+            &SyntheticRunner,
+            &path,
+            Some(Shard::new(index, shard_count)),
+            &FaultPlan::none(),
+        )
+        .expect("shard run");
+        assert_eq!(
+            report.completed.len() as u64,
+            CELLS / u64::from(shard_count)
+        );
+        shard_paths.push(path);
+    }
+    let merged_path = temp_journal("shards-merged");
+    let merged =
+        merge_shard_journals(&shard_paths, &merged_path, &spec().digest_hex()).expect("merge");
+    assert_eq!(merged, CELLS);
+    let (report, stats) = resume_campaign(
+        &spec(),
+        &SyntheticRunner,
+        &merged_path,
+        None,
+        &FaultPlan::none(),
+    )
+    .expect("report from merged journal");
+    assert_eq!(stats.reran, 0, "merged shards must cover the whole grid");
+    assert_eq!(stats.replayed, CELLS);
+    assert_eq!(json(&report), expected, "shard merge must equal sequential");
+}
+
+#[test]
+fn merge_rejects_overlapping_shards_and_foreign_digests() {
+    let path_a = temp_journal("merge-dup-a");
+    run_fleet_campaign(
+        &spec(),
+        &SyntheticRunner,
+        &path_a,
+        Some(Shard::new(0, 2)),
+        &FaultPlan::none(),
+    )
+    .expect("shard 0");
+    // The same shard journal twice: every key duplicates.
+    let out = temp_journal("merge-dup-out");
+    let dup = merge_shard_journals(
+        &[path_a.clone(), path_a.clone()],
+        &out,
+        &spec().digest_hex(),
+    );
+    assert!(matches!(dup, Err(JournalError::DuplicateKey(_))));
+    // A digest the records were not written under.
+    let foreign = merge_shard_journals(&[path_a], &out, "0000000000000000");
+    assert!(matches!(foreign, Err(JournalError::DigestMismatch { .. })));
+}
+
+// ---------------------------------------------------------------------------
+// End to end with the production runner.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sim_runner_kill_and_resume_is_bit_identical() {
+    let sim_spec = FleetSpec {
+        workloads: vec!["BFS".to_string()],
+        scales: vec!["tiny".to_string()],
+        policies: vec!["baseline".to_string(), "aware".to_string()],
+        capacities_permille: vec![500],
+        links: vec!["upi".to_string()],
+        seeds: vec![7],
+        max_attempts: 2,
+        config_digest: MachineConfig::test_config().config_digest(),
+    };
+    let runner = SimCellRunner::quick(MachineConfig::test_config());
+    let ref_path = temp_journal("sim-reference");
+    let reference = run_fleet_campaign(&sim_spec, &runner, &ref_path, None, &FaultPlan::none())
+        .expect("sim reference");
+    assert_eq!(reference.completed.len(), 2);
+
+    let path = temp_journal("sim-kill");
+    let killed = run_fleet_campaign(&sim_spec, &runner, &path, None, &FaultPlan::kill_after(1));
+    assert!(matches!(killed, Err(CampaignError::Interrupted { .. })));
+    let (resumed, stats) =
+        resume_campaign(&sim_spec, &runner, &path, None, &FaultPlan::none()).expect("sim resume");
+    assert_eq!(stats.replayed, 1);
+    assert_eq!(stats.reran, 1);
+    assert_eq!(
+        json(&resumed),
+        json(&reference),
+        "simulated cells must round-trip the journal bit-identically"
+    );
+}

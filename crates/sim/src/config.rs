@@ -303,6 +303,25 @@ impl MachineConfig {
         self
     }
 
+    /// Stable content digest of this configuration.
+    ///
+    /// FNV-1a over the serialized JSON form: any field change — tier
+    /// capacities, link figures, cache geometry, prefetcher — changes the
+    /// digest. The campaign journal stamps every record with the digest of
+    /// the spec it ran under, so `resume_campaign` can reject records written
+    /// by a process with a different machine configuration instead of
+    /// silently mixing incomparable results.
+    pub fn config_digest(&self) -> u64 {
+        let mut json = String::new();
+        serde::Serialize::serialize_json(self, &mut json);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in json.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Ridge point of the machine's roofline (flops per byte of local DRAM
     /// traffic at which it becomes compute bound).
     pub fn ridge_point(&self) -> f64 {
@@ -396,5 +415,16 @@ mod tests {
     fn prefetch_disabled_constructor() {
         assert!(!PrefetchParams::disabled().enabled);
         assert!(PrefetchParams::default().enabled);
+    }
+
+    #[test]
+    fn config_digest_is_stable_and_field_sensitive() {
+        let a = MachineConfig::test_config();
+        let b = MachineConfig::test_config();
+        assert_eq!(a.config_digest(), b.config_digest());
+        let c = MachineConfig::test_config().with_local_capacity(1 << 20);
+        assert_ne!(a.config_digest(), c.config_digest());
+        let d = MachineConfig::test_config().with_prefetch(false);
+        assert_ne!(a.config_digest(), d.config_digest());
     }
 }

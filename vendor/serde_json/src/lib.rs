@@ -5,6 +5,14 @@
 //! re-indents it. Serialization in the stub model is infallible, so [`Error`]
 //! is never constructed — it exists to keep `Result`-shaped call sites
 //! compiling unchanged.
+//!
+//! The [`read`] module is the minimal inverse: a hand-rolled JSON parser for
+//! consumers (the campaign journal) that must read back what this crate
+//! wrote.
+
+pub mod read;
+
+pub use read::{parse_value, JsonValue, ParseError};
 
 use std::fmt;
 

@@ -1,0 +1,289 @@
+//! A small hand-rolled JSON reader.
+//!
+//! The stub serialization stack is write-only; the campaign journal
+//! (`dismem-sched`) needs to read its own JSON-lines records back on resume,
+//! so this module provides the minimal inverse: a recursive-descent parser
+//! into a [`JsonValue`] tree plus typed accessors. Numbers keep their raw
+//! text so u64 values above 2^53 (config digests, seeds) survive the round
+//! trip exactly instead of being squeezed through f64.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw text (see [`JsonValue::as_f64`] /
+    /// [`JsonValue::as_u64`]).
+    Number(String),
+    /// A string literal (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if it is a number. Parsing goes through Rust's
+    /// correctly-rounded `str::parse`, so a value serialized with the stub's
+    /// shortest-round-trip writer comes back bit-identical.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a non-negative integer number. Parsed
+    /// from the raw text, so the full u64 range round-trips.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: a message plus the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+/// This is the JSON-lines entry point: one call per journal line.
+pub fn parse_value(input: &str) -> Result<JsonValue, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err("trailing characters after value", pos));
+    }
+    Ok(value)
+}
+
+fn err(message: &str, offset: usize) -> ParseError {
+    ParseError {
+        message: message.to_string(),
+        offset,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), ParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(&format!("expected `{lit}`"), *pos))
+    }
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(_) => Err(err("unexpected character", *pos)),
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit()
+            || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(err("expected digits", *pos));
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| err("invalid utf-8 in number", start))?;
+    // Validate: a number must parse as f64 (covers int/frac/exp grammar
+    // closely enough for journal input, which this crate itself wrote).
+    raw.parse::<f64>()
+        .map_err(|_| err("malformed number", start))?;
+    Ok(JsonValue::Number(raw.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = bytes.get(*pos) else {
+            return Err(err("unterminated string", *pos));
+        };
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(err("unterminated escape", *pos));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err("malformed \\u escape", *pos))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by the stub
+                        // writer; reject rather than mis-decode.
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| err("invalid \\u code point", *pos))?;
+                        out.push(ch);
+                    }
+                    _ => return Err(err("unknown escape", *pos)),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err("invalid utf-8 in string", *pos))?;
+                let Some(ch) = rest.chars().next() else {
+                    return Err(err("unterminated string", *pos));
+                };
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_at(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err("expected `,` or `]`", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    *pos += 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected string key", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err("expected `:`", *pos));
+        }
+        *pos += 1;
+        let value = parse_at(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(err("expected `,` or `}`", *pos)),
+        }
+    }
+}
