@@ -27,6 +27,11 @@
 //!   the fleet-campaign modules (`crates/sched/src/{campaign,journal,fault}.rs`):
 //!   the retry/quarantine path must propagate errors, not panic, or a single
 //!   bad cell aborts the whole campaign.
+//! * `trace-hygiene` — flight-recorder emission (`record_event`, `emit`)
+//!   outside the sanctioned emission points (`crates/sim/src/{machine,tiering,
+//!   replay}.rs`, `crates/sched/src/{campaign,journal}.rs`): events are part
+//!   of the observability contract, so each one must come from an audited
+//!   site stamped with a simulated clock, not from arbitrary code.
 //! * `allow-syntax` — a `dismem-lint: allow(...)` directive without a
 //!   justification; an allow with no reason suppresses nothing.
 //!
@@ -132,6 +137,19 @@ const COUNTER_FIELDS: &[&str] = &[
 const REPLAY_RESET_SANCTIONED: &[&str] = &[
     "crates/sim/src/address_space.rs",
     "crates/sim/src/machine.rs",
+];
+
+/// The trace-hygiene audit list: modules allowed to emit flight-recorder
+/// events. These are the sites `docs/ARCHITECTURE.md` §7 documents — chunk
+/// close / migration apply / replay transitions in the simulator, and the
+/// cell lifecycle / journal rejections in the fleet campaign. The `trace`
+/// crate itself (where `Recorder` lives) is exempted by crate name instead.
+const TRACE_EMISSION_SANCTIONED: &[&str] = &[
+    "crates/sim/src/machine.rs",
+    "crates/sim/src/tiering.rs",
+    "crates/sim/src/replay.rs",
+    "crates/sched/src/campaign.rs",
+    "crates/sched/src/journal.rs",
 ];
 
 /// Methods that iterate a hash container in arbitrary order.
@@ -275,6 +293,11 @@ pub fn scan_source(class: &FileClass, src: &str) -> Vec<Finding> {
         && !class.in_benches;
     let apply_unseeded_random = first_party;
     let apply_panic_policy = first_party && PANIC_POLICY_PATHS.contains(&class.rel.as_str());
+    let apply_trace_hygiene = first_party
+        && class.crate_name != "trace"
+        && !TRACE_EMISSION_SANCTIONED.contains(&class.rel.as_str())
+        && !class.in_tests
+        && !class.in_benches;
 
     // Crate roots must forbid unsafe code (checked on raw text so the exact
     // attribute form is enforced).
@@ -474,6 +497,30 @@ pub fn scan_source(class: &FileClass, src: &str) -> Vec<Finding> {
                  placement may only change on the audited migration path \
                  that hard-resets the replay engine"
                     .to_string(),
+            );
+        }
+
+        // Rule: trace-hygiene — recorder emission outside the audit list.
+        if apply_trace_hygiene
+            && !in_test
+            && t.kind == TokKind::Ident
+            && (t.text == "record_event" || t.text == "emit")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            push(
+                &mut findings,
+                &mut seen,
+                "trace-hygiene",
+                t.line,
+                format!(
+                    "`{}` called outside the sanctioned trace emission points; \
+                     flight-recorder events may only be emitted at the audited \
+                     chunk-close, migration, replay-transition and campaign \
+                     work-queue sites",
+                    t.text
+                ),
             );
         }
 
@@ -766,5 +813,6 @@ pub const RULES: &[&str] = &[
     "unseeded-random",
     "unsafe-audit",
     "panic-policy",
+    "trace-hygiene",
     "allow-syntax",
 ];

@@ -14,7 +14,7 @@ impl Tracker {
     fn walk(&self) {
         for (page, _score) in &self.heat {
             // BAD: loop body observes arbitrary order
-            emit(*page);
+            sink(*page);
         }
     }
 

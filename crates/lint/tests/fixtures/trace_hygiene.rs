@@ -1,0 +1,29 @@
+// Known-bad: flight-recorder emission outside the sanctioned points.
+// Expected: exactly two trace-hygiene findings — the `fn` item definition is
+// not a call, test-module emission is fine, and the justified allow holds.
+
+fn leak_events(rec: &mut dyn Recorder, app_lines: u64) {
+    rec.record_event(TraceEvent::TierSpill { app_lines, pages: 1 }); // BAD
+    emit(app_lines); // BAD
+}
+
+// A local helper merely *named* like the emission hook is not a call.
+fn record_event(_event: u64) {}
+
+fn audited_elsewhere(rec: &mut dyn Recorder) {
+    // dismem-lint: allow(trace-hygiene) — fixture: models an audited emission site
+    rec.record_event(TraceEvent::ReplayEngaged { app_lines: 0, mode: ReplayMode::Window });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn emission_in_tests_is_fine() {
+        let mut rec = FlightRecorder::new();
+        rec.record_event(TraceEvent::CampaignCellStarted {
+            cell_index: 0,
+            cell: "BFS".into(),
+            attempt: 1,
+        });
+    }
+}

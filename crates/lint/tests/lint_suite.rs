@@ -225,6 +225,56 @@ fn adding_an_unwrap_to_the_real_campaign_module_fails_the_gate() {
     );
 }
 
+#[test]
+fn trace_hygiene_fixture_flags_both_emissions_but_not_the_fn_item() {
+    let f = scan_file_as(
+        "crates/profiler/src/fixture.rs",
+        &fixture("trace_hygiene.rs"),
+    );
+    assert_eq!(rules_of(&f), ["trace-hygiene", "trace-hygiene"], "{f:?}");
+    assert_eq!(f[0].line, 6); // rec.record_event(...)
+    assert_eq!(f[1].line, 7); // bare emit(...)
+    assert!(f[0].message.contains("sanctioned trace emission points"));
+}
+
+#[test]
+fn trace_hygiene_exempts_the_sanctioned_sites_and_the_trace_crate() {
+    for rel in [
+        "crates/sim/src/machine.rs",
+        "crates/sim/src/tiering.rs",
+        "crates/sim/src/replay.rs",
+        "crates/sched/src/campaign.rs",
+        "crates/sched/src/journal.rs",
+        "crates/trace/src/flight.rs",
+    ] {
+        let f = scan_file_as(rel, &fixture("trace_hygiene.rs"));
+        assert!(f.iter().all(|f| f.rule != "trace-hygiene"), "{rel}: {f:?}");
+    }
+}
+
+#[test]
+fn moving_the_machine_emission_sites_off_the_audit_list_fails_the_gate() {
+    let path = workspace_root().join("crates/sim/src/machine.rs");
+    let src = std::fs::read_to_string(path).expect("read machine.rs");
+    assert!(
+        src.contains("record_event"),
+        "machine.rs lost its emissions"
+    );
+    // On the audit list the chunk-close/migration emissions are sanctioned...
+    assert!(
+        scan_file_as("crates/sim/src/machine.rs", &src)
+            .iter()
+            .all(|f| f.rule != "trace-hygiene"),
+        "machine.rs emission sites must be on the audit list"
+    );
+    // ...but the same code moved anywhere else trips the rule.
+    let f = scan_file_as("crates/profiler/src/runner.rs", &src);
+    assert!(
+        f.iter().any(|f| f.rule == "trace-hygiene"),
+        "record_event outside the audit list must be flagged: {f:?}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // The allow mechanism.
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 //! Helpers for running workloads on configured machines.
 
 use dismem_sim::{InterferenceProfile, Machine, MachineConfig, RunReport};
+use dismem_trace::Recorder;
 use dismem_workloads::Workload;
 
 /// Options for a single profiling run.
@@ -54,6 +55,28 @@ pub fn run_workload(workload: &dyn Workload, options: &RunOptions) -> RunReport 
     machine.set_interference(options.interference.clone());
     workload.run(&mut machine);
     machine.finish()
+}
+
+/// [`run_workload`] with a flight recorder attached: the machine emits trace
+/// events (epoch closes, migrations, replay transitions, spills) into the
+/// recorder and hands it back alongside the report. Recording is read-only —
+/// the report is bit-identical to [`run_workload`]'s for the same inputs.
+pub fn run_workload_recorded(
+    workload: &dyn Workload,
+    options: &RunOptions,
+    recorder: Box<dyn Recorder>,
+) -> (RunReport, Box<dyn Recorder>) {
+    let mut config = options.config.clone();
+    config.prefetch.enabled = options.prefetch;
+    let mut machine = Machine::new(config);
+    machine.set_interference(options.interference.clone());
+    machine.set_recorder(recorder);
+    workload.run(&mut machine);
+    let report = machine.finish();
+    let recorder = machine
+        .take_recorder()
+        .expect("recorder installed above survives the run");
+    (report, recorder)
 }
 
 /// Derives a pooling configuration from a base configuration and a workload:
@@ -112,6 +135,24 @@ mod tests {
         );
         assert!(with_pf.total.pf_issued > 0);
         assert_eq!(without_pf.total.pf_issued, 0);
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_and_returns_events() {
+        use dismem_trace::FlightRecorder;
+        let w = WorkloadKind::Hypre.instantiate_tiny();
+        let cfg = pooled_config(&test_base(), w.as_ref(), 0.5);
+        let options = RunOptions::new(cfg);
+        let plain = run_workload(w.as_ref(), &options);
+        let (recorded, recorder) =
+            run_workload_recorded(w.as_ref(), &options, Box::new(FlightRecorder::new()));
+        assert_eq!(recorded, plain, "recording must not perturb the report");
+        let recorder = recorder
+            .into_any()
+            .downcast::<FlightRecorder>()
+            .expect("flight recorder comes back");
+        // A pooled run spills pages, so the trace cannot be empty.
+        assert!(recorder.metrics().counter("sim.spilled_pages_total") > 0);
     }
 
     #[test]

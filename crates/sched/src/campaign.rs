@@ -30,6 +30,7 @@ use dismem_analysis::{five_number_summary, mean, FiveNumberSummary};
 use dismem_core::{fnv1a64, CellKey};
 use dismem_profiler::{pooled_config, run_workload, RunOptions};
 use dismem_sim::{InterferenceProfile, LinkParams, MachineConfig, RunReport};
+use dismem_trace::{Recorder, TraceEvent};
 use dismem_workloads::{InputScale, WorkloadKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -543,6 +544,15 @@ pub struct CampaignReport {
     pub completed: Vec<CompletedCell>,
     /// Quarantined cells, sorted by cell id.
     pub failed_cells: Vec<FailedCell>,
+    /// Journal records dropped during resume instead of replayed: foreign
+    /// spec digest or a cell outside this shard's grid slice. Zero on a
+    /// fresh run and on a clean resume, so those reports stay byte-identical
+    /// to an uninterrupted run; a nonzero value is the audit trail of a
+    /// journal that carried foreign records.
+    pub rejected_records: u64,
+    /// True when resume dropped a torn trailing journal line (the cell was
+    /// re-run). False on a fresh run and on a clean resume.
+    pub dropped_torn_tail: bool,
 }
 
 /// What a resume replayed versus re-ran.
@@ -628,7 +638,28 @@ pub fn run_fleet_campaign(
             records: writer.len(),
         });
     }
-    drive(spec, runner, journal_path, shard, fault).map(|(report, _)| report)
+    drive(spec, runner, journal_path, shard, fault, None).map(|(report, _)| report)
+}
+
+/// [`run_fleet_campaign`] with a flight recorder attached: cell lifecycle
+/// events (started / finished / retried / quarantined) are emitted as the
+/// work queue drains. Recording is read-only — the report is bit-identical
+/// to an unrecorded run's.
+pub fn run_fleet_campaign_traced(
+    spec: &FleetSpec,
+    runner: &dyn CellRunner,
+    journal_path: &Path,
+    shard: Option<Shard>,
+    fault: &FaultPlan,
+    recorder: &mut dyn Recorder,
+) -> Result<CampaignReport, CampaignError> {
+    let writer = JournalWriter::open(journal_path)?;
+    if !writer.is_empty() {
+        return Err(CampaignError::JournalNotEmpty {
+            records: writer.len(),
+        });
+    }
+    drive(spec, runner, journal_path, shard, fault, Some(recorder)).map(|(report, _)| report)
 }
 
 /// Resumes a fleet campaign from its journal: replays digest-matching
@@ -643,7 +674,22 @@ pub fn resume_campaign(
     shard: Option<Shard>,
     fault: &FaultPlan,
 ) -> Result<(CampaignReport, ResumeStats), CampaignError> {
-    drive(spec, runner, journal_path, shard, fault)
+    drive(spec, runner, journal_path, shard, fault, None)
+}
+
+/// [`resume_campaign`] with a flight recorder attached: on top of the cell
+/// lifecycle events, every journal record the resume drops instead of
+/// replaying (foreign digest, unknown cell, torn tail) is emitted as a
+/// [`TraceEvent::JournalRecordRejected`]. Recording is read-only.
+pub fn resume_campaign_traced(
+    spec: &FleetSpec,
+    runner: &dyn CellRunner,
+    journal_path: &Path,
+    shard: Option<Shard>,
+    fault: &FaultPlan,
+    recorder: &mut dyn Recorder,
+) -> Result<(CampaignReport, ResumeStats), CampaignError> {
+    drive(spec, runner, journal_path, shard, fault, Some(recorder))
 }
 
 fn drive(
@@ -652,6 +698,7 @@ fn drive(
     journal_path: &Path,
     shard: Option<Shard>,
     fault: &FaultPlan,
+    mut recorder: Option<&mut dyn Recorder>,
 ) -> Result<(CampaignReport, ResumeStats), CampaignError> {
     assert!(spec.max_attempts >= 1, "max_attempts must be at least 1");
     let digest = spec.digest_hex();
@@ -671,36 +718,62 @@ fn drive(
         torn_tail: loaded.torn_tail,
         ..ResumeStats::default()
     };
+    let whole_records = loaded.records.len() as u64;
     let mut done: BTreeMap<String, JournalRecord> = BTreeMap::new();
-    for record in loaded.records {
+    for (record_index, record) in loaded.records.into_iter().enumerate() {
         let id = record.key.id();
-        if record.digest != digest {
+        let reason = if record.digest != digest {
             stats.digest_rejected += 1;
-            continue;
-        }
-        if !cell_ids.contains(&id) {
+            "foreign-digest"
+        } else if !cell_ids.contains(&id) {
             stats.unknown_cells += 1;
+            "unknown-cell"
+        } else {
+            if done.insert(id.clone(), record).is_some() {
+                return Err(JournalError::DuplicateKey(id).into());
+            }
+            stats.replayed += 1;
             continue;
+        };
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record_event(TraceEvent::JournalRecordRejected {
+                record_index: record_index as u64,
+                reason: reason.to_string(),
+            });
         }
-        if done.insert(id.clone(), record).is_some() {
-            return Err(JournalError::DuplicateKey(id).into());
+    }
+    if stats.torn_tail {
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record_event(TraceEvent::JournalRecordRejected {
+                record_index: whole_records,
+                reason: "torn-tail".to_string(),
+            });
         }
-        stats.replayed += 1;
     }
 
     let mut writer = JournalWriter::open(journal_path)?;
 
-    // Deterministic work queue: missing cells in grid order. A failed attempt
-    // re-enters at the back — that attempt-counted backoff lets every other
-    // pending cell run before the retry, with no wall clocks involved.
-    let mut queue: VecDeque<(CellKey, u32)> = cells
+    // Deterministic work queue: missing cells in grid order (the index is
+    // the cell's position in the shard's slice, carried for the trace). A
+    // failed attempt re-enters at the back — that attempt-counted backoff
+    // lets every other pending cell run before the retry, with no wall
+    // clocks involved.
+    let mut queue: VecDeque<(u64, CellKey, u32)> = cells
         .iter()
-        .filter(|key| !done.contains_key(&key.id()))
-        .map(|key| (key.clone(), 1))
+        .enumerate()
+        .filter(|(_, key)| !done.contains_key(&key.id()))
+        .map(|(i, key)| (i as u64, key.clone(), 1))
         .collect();
 
-    while let Some((key, attempt)) = queue.pop_front() {
+    while let Some((cell_index, key, attempt)) = queue.pop_front() {
         let id = key.id();
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record_event(TraceEvent::CampaignCellStarted {
+                cell_index,
+                cell: id.clone(),
+                attempt,
+            });
+        }
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             fault.poison_check(&id, attempt);
             runner.run(&key)
@@ -717,7 +790,14 @@ fn drive(
             },
             Err(error) => {
                 if attempt < spec.max_attempts {
-                    queue.push_back((key, attempt + 1));
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.record_event(TraceEvent::CampaignCellRetried {
+                            cell_index,
+                            cell: id.clone(),
+                            attempt,
+                        });
+                    }
+                    queue.push_back((cell_index, key, attempt + 1));
                     continue;
                 }
                 JournalRecord {
@@ -731,6 +811,22 @@ fn drive(
             }
         };
         writer.append(&record)?;
+        if let Some(rec) = recorder.as_deref_mut() {
+            let ok = record.status == "ok";
+            rec.record_event(TraceEvent::CampaignCellFinished {
+                cell_index,
+                cell: id.clone(),
+                attempt,
+                ok,
+            });
+            if !ok {
+                rec.record_event(TraceEvent::CampaignCellQuarantined {
+                    cell_index,
+                    cell: id.clone(),
+                    attempts: attempt,
+                });
+            }
+        }
         done.insert(id, record);
         stats.reran += 1;
         if fault.should_kill(writer.len()) {
@@ -741,7 +837,7 @@ fn drive(
         }
     }
 
-    let report = build_report(&digest, cells.len() as u64, &done)?;
+    let report = build_report(&digest, cells.len() as u64, &done, &stats)?;
     Ok((report, stats))
 }
 
@@ -749,6 +845,7 @@ fn build_report(
     digest: &str,
     total_cells: u64,
     done: &BTreeMap<String, JournalRecord>,
+    stats: &ResumeStats,
 ) -> Result<CampaignReport, CampaignError> {
     let mut completed = Vec::new();
     let mut failed_cells = Vec::new();
@@ -786,6 +883,8 @@ fn build_report(
         total_cells,
         completed,
         failed_cells,
+        rejected_records: stats.digest_rejected + stats.unknown_cells,
+        dropped_torn_tail: stats.torn_tail,
     })
 }
 

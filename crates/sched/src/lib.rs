@@ -39,9 +39,10 @@ pub mod tiering;
 
 pub use campaign::compare_policies_checked;
 pub use campaign::{
-    resume_campaign, run_campaign, run_fleet_campaign, CampaignConfig, CampaignError,
-    CampaignReport, CampaignResult, CellRunner, CompletedCell, FailedCell, FleetSpec,
-    PolicyComparison, ResumeStats, Shard, SimCellRunner,
+    resume_campaign, resume_campaign_traced, run_campaign, run_fleet_campaign,
+    run_fleet_campaign_traced, CampaignConfig, CampaignError, CampaignReport, CampaignResult,
+    CellRunner, CompletedCell, FailedCell, FleetSpec, PolicyComparison, ResumeStats, Shard,
+    SimCellRunner,
 };
 pub use fault::FaultPlan;
 pub use journal::{

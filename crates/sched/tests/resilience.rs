@@ -66,6 +66,17 @@ fn json(report: &CampaignReport) -> String {
     serde_json::to_string(report).expect("serialize report")
 }
 
+/// Serialized form with the resume-diagnostic fields cleared: a resume that
+/// legitimately dropped records (torn tail, foreign digests) reports those
+/// drops, so comparisons against a fresh-run reference normalize them away
+/// and assert the diagnostics explicitly instead.
+fn json_normalized(report: &CampaignReport) -> String {
+    let mut normalized = report.clone();
+    normalized.rejected_records = 0;
+    normalized.dropped_torn_tail = false;
+    json(&normalized)
+}
+
 /// The uninterrupted sequential reference report and its serialized form.
 fn reference(name: &str) -> String {
     let path = temp_journal(&format!("{name}-reference"));
@@ -185,7 +196,12 @@ fn torn_trailing_record_is_tolerated_and_rerun() {
     assert!(stats.torn_tail);
     assert_eq!(stats.replayed, 4);
     assert_eq!(stats.reran, CELLS - 4, "torn cell must re-run");
-    assert_eq!(json(&report), expected);
+    assert!(
+        report.dropped_torn_tail,
+        "report must surface the torn tail"
+    );
+    assert_eq!(report.rejected_records, 0);
+    assert_eq!(json_normalized(&report), expected);
 }
 
 #[test]
@@ -233,6 +249,11 @@ fn foreign_digest_records_are_rejected_and_their_cells_rerun() {
     assert_eq!(stats.replayed, 0);
     assert_eq!(stats.reran, CELLS);
     assert_eq!(report.spec_digest, changed.digest_hex());
+    assert_eq!(
+        report.rejected_records, CELLS,
+        "dropped foreign records must be surfaced"
+    );
+    assert!(!report.dropped_torn_tail);
     // The journal now holds both generations; a further resume under config B
     // replays only its own records and runs nothing.
     let (again, stats) =
@@ -393,6 +414,99 @@ fn merge_rejects_overlapping_shards_and_foreign_digests() {
     // A digest the records were not written under.
     let foreign = merge_shard_journals(&[path_a], &out, "0000000000000000");
     assert!(matches!(foreign, Err(JournalError::DigestMismatch { .. })));
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder integration.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn traced_campaign_is_bit_identical_and_emits_the_cell_lifecycle() {
+    use dismem_sched::campaign::{resume_campaign_traced, run_fleet_campaign_traced};
+    use dismem_trace::{FlightRecorder, TraceEvent};
+
+    let plain_path = temp_journal("traced-plain");
+    let plain = run_fleet_campaign(
+        &spec(),
+        &SyntheticRunner,
+        &plain_path,
+        None,
+        &FaultPlan::none(),
+    )
+    .expect("unrecorded run");
+
+    let victim = spec().cells()[3].id();
+    let fault = FaultPlan::none().with_poison(&victim, 1);
+    let path = temp_journal("traced");
+    let mut recorder = FlightRecorder::new();
+    let report = run_fleet_campaign_traced(
+        &spec(),
+        &SyntheticRunner,
+        &path,
+        None,
+        &fault,
+        &mut recorder,
+    )
+    .expect("traced run");
+    // Recording must not perturb the campaign (the healed retry changes the
+    // victim's attempt count, so compare against an identically-faulted run).
+    let ref_path = temp_journal("traced-ref");
+    let unrecorded = run_fleet_campaign(&spec(), &SyntheticRunner, &ref_path, None, &fault)
+        .expect("unrecorded faulted run");
+    assert_eq!(json(&report), json(&unrecorded));
+    assert_eq!(plain.completed.len(), report.completed.len());
+
+    let count = |name: &str| {
+        recorder
+            .events()
+            .iter()
+            .filter(|e| e.name() == name)
+            .count() as u64
+    };
+    assert_eq!(count("CampaignCellStarted"), CELLS + 1, "one retry attempt");
+    assert_eq!(count("CampaignCellFinished"), CELLS);
+    assert_eq!(count("CampaignCellRetried"), 1);
+    assert_eq!(count("CampaignCellQuarantined"), 0);
+    assert_eq!(
+        recorder.metrics().counter("campaign.cells_completed"),
+        CELLS
+    );
+    assert_eq!(recorder.metrics().counter("campaign.cells_retried"), 1);
+
+    // Resume under a foreign digest with a recorder: every drop is traced.
+    let changed = FleetSpec {
+        config_digest: 0x5EED,
+        ..spec()
+    };
+    let mut resume_recorder = FlightRecorder::new();
+    let (resumed, stats) = resume_campaign_traced(
+        &changed,
+        &SyntheticRunner,
+        &path,
+        None,
+        &FaultPlan::none(),
+        &mut resume_recorder,
+    )
+    .expect("traced resume");
+    assert_eq!(stats.digest_rejected, CELLS);
+    assert_eq!(resumed.rejected_records, CELLS);
+    let rejected: Vec<&TraceEvent> = resume_recorder
+        .events()
+        .iter()
+        .filter(|e| e.name() == "JournalRecordRejected")
+        .collect();
+    assert_eq!(rejected.len() as u64, CELLS);
+    for event in rejected {
+        if let TraceEvent::JournalRecordRejected { reason, .. } = event {
+            assert_eq!(reason, "foreign-digest");
+        }
+    }
+    assert_eq!(
+        resume_recorder
+            .metrics()
+            .counter("journal.records_rejected"),
+        CELLS
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -148,6 +148,9 @@ pub struct AddressSpace {
     last_resolved: Option<(u64, Tier, ObjectHandle)>,
     local_pages_used: u64,
     pool_pages_used: u64,
+    /// Monotone count of local-preferring pages that fell through to the
+    /// pool because the local tier was full (capacity spills).
+    spilled_pages: u64,
     live_bytes: u64,
     peak_bytes: u64,
     histogram: PageHistogram,
@@ -174,6 +177,7 @@ impl AddressSpace {
             last_resolved: None,
             local_pages_used: 0,
             pool_pages_used: 0,
+            spilled_pages: 0,
             live_bytes: 0,
             peak_bytes: 0,
             histogram: PageHistogram::new(),
@@ -463,6 +467,7 @@ impl AddressSpace {
             if self.local_has_room() {
                 Tier::Local
             } else if self.pool_has_room() {
+                self.spilled_pages += 1;
                 Tier::Pool
             } else {
                 return Err(self.oom(page, owner));
@@ -519,6 +524,12 @@ impl AddressSpace {
     /// Pages currently bound to the pool tier.
     pub fn pool_pages_used(&self) -> u64 {
         self.pool_pages_used
+    }
+
+    /// Monotone count of pages that preferred the local tier but were placed
+    /// in the pool because local capacity was exhausted.
+    pub fn spilled_pages(&self) -> u64 {
+        self.spilled_pages
     }
 
     /// Peak bytes of live allocations observed so far.

@@ -11,13 +11,17 @@ use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::interference::InterferenceProfile;
 use crate::prefetch::StreamPrefetcher;
+use crate::replay::{ReplayLevel, ReplayTransition};
 use crate::report::{AllocationSummary, PhaseReport, RunReport, TieringReport, TimelineSample};
 use crate::tiering::{
     HotnessTracker, PageSample, TierOccupancy, TieringPolicy, TieringRuntime, TieringSpec,
     TieringStats,
 };
 use crate::timing::TimingModel;
-use dismem_trace::{AccessKind, MemoryEngine, ObjectHandle, PlacementPolicy, CACHE_LINE_SIZE};
+use dismem_trace::{
+    AccessKind, MemoryEngine, ObjectHandle, PlacementPolicy, Recorder, ReplayMode, TraceEvent,
+    TraceTier, CACHE_LINE_SIZE,
+};
 
 /// Cache lines per page (pages and cache lines are both powers of two).
 const LINES_PER_PAGE: u64 = dismem_trace::PAGE_SIZE / CACHE_LINE_SIZE;
@@ -239,6 +243,16 @@ pub struct Machine {
 
     total: Counters,
     timeline: Vec<TimelineSample>,
+
+    /// Optional flight recorder ([`Machine::set_recorder`]). `None` (the
+    /// default) keeps every hot path free of event construction; the
+    /// recorded/unrecorded bit-identity of [`RunReport`]s is pinned by the
+    /// workspace property tests.
+    recorder: Option<Box<dyn Recorder>>,
+    /// Capacity spills already reported to the recorder (the address-space
+    /// counter is monotone; the delta since this mark is emitted as one
+    /// [`TraceEvent::TierSpill`] per chunk close).
+    spilled_seen: u64,
 }
 
 impl Machine {
@@ -266,6 +280,8 @@ impl Machine {
             current_phase: None,
             total: Counters::default(),
             timeline: Vec::new(),
+            recorder: None,
+            spilled_seen: 0,
         }
     }
 
@@ -383,6 +399,73 @@ impl Machine {
         self.clock_s
     }
 
+    /// Installs a flight recorder (see `dismem_trace::flight`). Events are
+    /// timestamped by simulated clocks only — the application-DRAM-line
+    /// clock and the tiering epoch ordinal — so a recorded run's event
+    /// stream is as deterministic as its [`RunReport`]. Recording is
+    /// strictly read-only: the report of a recorded run is bit-identical to
+    /// an unrecorded one. Capacity spills are reported from installation
+    /// onwards.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.spilled_seen = self.space.spilled_pages();
+        self.cache.set_replay_trace(recorder.enabled());
+        self.recorder = Some(recorder);
+    }
+
+    /// Removes the installed flight recorder, draining any pending replay
+    /// transitions and spill deltas into it first. Call after
+    /// [`Machine::finish`] so the final chunk's events are included.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        if self.recorder.is_some() {
+            self.emit_chunk_trace();
+        }
+        self.cache.set_replay_trace(false);
+        self.recorder.take()
+    }
+
+    /// The application-DRAM-line trace clock: demand/prefetch fills plus
+    /// writebacks on both tiers, folded into the totals at chunk closes.
+    /// Pipeline-identical (per-line, batched and replay agree bit for bit)
+    /// and monotone, which makes it a sound timestamp base.
+    fn app_lines_clock(&self) -> u64 {
+        self.total.dram_lines_local
+            + self.total.dram_lines_pool
+            + self.total.writeback_lines_local
+            + self.total.writeback_lines_pool
+    }
+
+    /// Drains replay transitions collected since the last chunk close and
+    /// the capacity-spill delta into the recorder, stamped with the current
+    /// application-line clock. Only called with a recorder installed.
+    fn emit_chunk_trace(&mut self) {
+        let app_lines = self.app_lines_clock();
+        let transitions = self.cache.drain_replay_transitions();
+        let spilled = self.space.spilled_pages();
+        let Some(recorder) = self.recorder.as_deref_mut() else {
+            return;
+        };
+        for transition in transitions {
+            recorder.record_event(match transition {
+                ReplayTransition::Engaged(level) => TraceEvent::ReplayEngaged {
+                    app_lines,
+                    mode: trace_mode(level),
+                },
+                ReplayTransition::Exited(level, reason) => TraceEvent::ReplayExited {
+                    app_lines,
+                    mode: trace_mode(level),
+                    reason: reason.to_string(),
+                },
+            });
+        }
+        if spilled > self.spilled_seen {
+            recorder.record_event(TraceEvent::TierSpill {
+                app_lines,
+                pages: spilled - self.spilled_seen,
+            });
+            self.spilled_seen = spilled;
+        }
+    }
+
     /// Finishes the run and produces the report. The machine can keep being
     /// used afterwards (e.g. to run another phase), but typically a fresh
     /// machine is created per run.
@@ -469,6 +552,11 @@ impl Machine {
             self.chunk_pool_link_lines = 0;
         }
         if self.chunk == Counters::default() {
+            // Nothing to time, but transitions recorded since the last close
+            // (e.g. a reset with no traffic after it) still need draining.
+            if self.recorder.is_some() {
+                self.emit_chunk_trace();
+            }
             return;
         }
         let loi = self.interference.loi_at(self.clock_s);
@@ -494,6 +582,11 @@ impl Machine {
             + self.chunk.writeback_lines_local
             + self.chunk.writeback_lines_pool;
         self.chunk = Counters::default();
+        if self.recorder.is_some() {
+            // Emit before a possible tiering epoch so replay transitions from
+            // this chunk's walks order ahead of the epoch's events.
+            self.emit_chunk_trace();
+        }
         if let Some(epoch_lines) = self.tiering.policy.epoch_lines() {
             self.tiering.epoch_acc += app_dram_lines;
             if self.tiering.epoch_acc >= epoch_lines {
@@ -519,6 +612,7 @@ impl Machine {
             return;
         };
         let dwell = tracker.end_epoch();
+        let hot_pages = dwell.pages;
         {
             // Phase-dwell bookkeeping: each epoch extends the open dwell, and
             // a hot-set shift closes it (the new hot set starts a dwell of
@@ -575,6 +669,9 @@ impl Machine {
         };
         let orders = self.tiering.policy.plan(epoch, &samples, &occupancy);
 
+        // Epoch events share one timestamp: the application-line clock at the
+        // chunk close that fired this epoch (totals already include it).
+        let app_lines = self.app_lines_clock();
         let mut moved = 0u64;
         for order in orders {
             if self.tiering.damped(order.page, epoch, cooldown) {
@@ -589,6 +686,15 @@ impl Machine {
                         Tier::Local => self.tiering.stats.promotions += 1,
                         Tier::Pool => self.tiering.stats.demotions += 1,
                     }
+                    if let Some(recorder) = self.recorder.as_deref_mut() {
+                        recorder.record_event(TraceEvent::MigrationApplied {
+                            epoch,
+                            app_lines,
+                            page: order.page,
+                            from: trace_tier(from),
+                            to: trace_tier(order.to),
+                        });
+                    }
                 }
                 Ok(_) => {}
                 Err(crate::address_space::RebindError::NoCapacity) => {
@@ -598,6 +704,16 @@ impl Machine {
             }
         }
         self.tiering.stats.epochs += 1;
+        if let Some(recorder) = self.recorder.as_deref_mut() {
+            recorder.record_event(TraceEvent::EpochClosed {
+                epoch,
+                app_lines,
+                hot_pages,
+                dwell_epochs: self.tiering.stats.open_dwell_epochs,
+                hot_set_shifts: self.tiering.stats.hot_set_shifts,
+                migrated_pages: moved,
+            });
+        }
         if moved > 0 {
             // Each migrated page is read from one tier and written to the
             // other; one side is always the pool, so the whole payload also
@@ -794,6 +910,21 @@ impl Machine {
         // placement that produced it.
         self.close_chunk();
         self.space.free(handle)
+    }
+}
+
+fn trace_mode(level: ReplayLevel) -> ReplayMode {
+    match level {
+        ReplayLevel::Window => ReplayMode::Window,
+        ReplayLevel::Pass => ReplayMode::Pass,
+        ReplayLevel::Strided => ReplayMode::Strided,
+    }
+}
+
+fn trace_tier(tier: Tier) -> TraceTier {
+    match tier {
+        Tier::Local => TraceTier::Local,
+        Tier::Pool => TraceTier::Pool,
     }
 }
 
@@ -1306,6 +1437,107 @@ mod tests {
         assert!(per_line.tiering.promotions > 0);
         assert_eq!(batched, per_line, "batched diverged under migrations");
         assert_eq!(with_replay, per_line, "replay diverged under migrations");
+    }
+
+    #[test]
+    fn recorded_run_is_bit_identical_and_captures_the_event_stream() {
+        use dismem_trace::FlightRecorder;
+        let run = |record: bool| {
+            let config = MachineConfig::test_config().with_local_capacity(40 * PAGE_SIZE);
+            let mut m = Machine::new(config);
+            if record {
+                m.set_recorder(Box::new(FlightRecorder::new()));
+            }
+            m.set_tiering(hot_promote_policy());
+            let cold = m.alloc("cold", "t", 40 * PAGE_SIZE);
+            let hot = m.alloc("hot", "t", 32 * PAGE_SIZE);
+            m.phase_start("p");
+            m.touch(cold, 40 * PAGE_SIZE);
+            m.touch(hot, 32 * PAGE_SIZE);
+            for _ in 0..10 {
+                m.read(hot, 0, 32 * PAGE_SIZE);
+            }
+            m.phase_end();
+            let report = m.finish();
+            (report, m.take_recorder())
+        };
+        let (recorded, recorder) = run(true);
+        let (unrecorded, no_recorder) = run(false);
+        assert!(no_recorder.is_none());
+        assert_eq!(recorded, unrecorded, "recording must not perturb the run");
+
+        let recorder = recorder
+            .expect("recorder comes back")
+            .into_any()
+            .downcast::<FlightRecorder>()
+            .expect("flight recorder");
+        let events = recorder.events();
+        assert!(!events.is_empty());
+        let count = |name: &str| events.iter().filter(|e| e.name() == name).count() as u64;
+        assert_eq!(count("EpochClosed"), recorded.tiering.epochs);
+        assert_eq!(count("MigrationApplied"), recorded.tiering.migrated_pages);
+        let spilled: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::TierSpill { pages, .. } => Some(*pages),
+                _ => None,
+            })
+            .sum();
+        // The hot object's 32 pages land on the pool after the cold object
+        // fills the local tier.
+        assert_eq!(spilled, 32);
+        // Timestamps are monotone within the simulator stream.
+        let stamps: Vec<u64> = events.iter().map(TraceEvent::timestamp).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        // The metrics registry folded the same totals.
+        let metrics = recorder.metrics();
+        assert_eq!(
+            metrics.counter("sim.epochs_closed"),
+            recorded.tiering.epochs
+        );
+        assert_eq!(
+            metrics.counter("sim.migrated_pages_total"),
+            recorded.tiering.migrated_pages
+        );
+    }
+
+    #[test]
+    fn replay_transitions_are_recorded_with_reasons() {
+        use dismem_trace::FlightRecorder;
+        let mut config = MachineConfig::test_config().with_local_capacity(700 * PAGE_SIZE);
+        config.cache = crate::config::CacheParams::scaled_emulation();
+        let mut m = Machine::new(config);
+        m.set_recorder(Box::new(FlightRecorder::new()));
+        let bytes = 4 << 20;
+        let a = m.alloc("stream", "t", bytes);
+        m.phase_start("p");
+        m.touch(a, bytes);
+        m.read(a, 0, bytes);
+        m.read(a, 0, bytes);
+        m.phase_end();
+        m.finish();
+        let recorder = m
+            .take_recorder()
+            .expect("recorder installed")
+            .into_any()
+            .downcast::<FlightRecorder>()
+            .expect("flight recorder");
+        let engaged = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ReplayEngaged { .. }))
+            .count();
+        assert!(engaged > 0, "warm stream must engage replay");
+        // Every exit carries a vocabulary reason.
+        for event in recorder.events() {
+            if let TraceEvent::ReplayExited { reason, .. } = event {
+                assert!(
+                    ["pattern-break", "hard-reset", "cache-reset"].contains(&reason.as_str()),
+                    "unexpected exit reason {reason}"
+                );
+            }
+        }
+        assert_eq!(recorder.metrics().counter("replay.engaged"), engaged as u64);
     }
 
     #[test]

@@ -357,6 +357,42 @@ enum PassAction {
     Walk,
 }
 
+/// Which closed-form escalation level a recorded transition refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayLevel {
+    /// Closed-form page-window replay.
+    Window,
+    /// Whole-pass replay.
+    Pass,
+    /// Stride-aware element-sequence replay.
+    Strided,
+}
+
+/// One engage/exit transition recorded for the flight recorder. Collected
+/// inside the walk (where no simulated clock is in scope) and drained by
+/// [`crate::Machine`] at the next chunk close, which stamps them with the
+/// application-line clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayTransition {
+    /// A closed form engaged at this level.
+    Engaged(ReplayLevel),
+    /// A closed form at this level exited, with the reason
+    /// (`pattern-break`, `hard-reset` or `cache-reset`).
+    Exited(ReplayLevel, &'static str),
+}
+
+impl Mode {
+    /// The escalation level of a non-detect mode.
+    fn level(&self) -> Option<ReplayLevel> {
+        match self {
+            Mode::Detect => None,
+            Mode::Replay(_) => Some(ReplayLevel::Window),
+            Mode::Pass(_) => Some(ReplayLevel::Pass),
+            Mode::Strided(_) => Some(ReplayLevel::Strided),
+        }
+    }
+}
+
 /// Detector + memo state machine owned by [`CacheSim`].
 #[derive(Debug, Clone)]
 pub(crate) struct ReplayEngine {
@@ -465,6 +501,13 @@ pub(crate) struct ReplayEngine {
     /// Length of the next scatter sleep (doubles up to the cap).
     scatter_len: u32,
 
+    /// Whether engage/exit transitions are recorded for the flight recorder
+    /// ([`CacheSim::set_replay_trace`]). Off by default: with tracing off the
+    /// engine allocates and records nothing.
+    trace: bool,
+    /// Transitions recorded since the last drain (chunk close).
+    transitions: Vec<ReplayTransition>,
+
     mode: Mode,
 }
 
@@ -519,7 +562,18 @@ impl ReplayEngine {
             s_breaks: 0,
             scatter_sleep: 0,
             scatter_len: 0,
+            trace: false,
+            transitions: Vec::new(),
             mode: Mode::Detect,
+        }
+    }
+
+    /// Records one transition when tracing is on (a no-op — not even a
+    /// branch misprediction worth of work — when off).
+    #[inline]
+    fn note_transition(&mut self, transition: ReplayTransition) {
+        if self.trace {
+            self.transitions.push(transition);
         }
     }
 
@@ -574,6 +628,9 @@ impl ReplayEngine {
     /// Forced variant of [`ReplayEngine::discard`] for cache resets, where
     /// the state replay would materialize is itself being thrown away.
     pub(crate) fn discard_for_reset(&mut self) {
+        if let Some(level) = self.mode.level() {
+            self.note_transition(ReplayTransition::Exited(level, "cache-reset"));
+        }
         self.mode = Mode::Detect;
         self.discard();
     }
@@ -1081,8 +1138,24 @@ impl CacheSim {
     /// applied migration epoch, which must reset pass and strided state
     /// exactly like window state.
     pub(crate) fn replay_hard_reset(&mut self) {
-        self.materialize_replay();
+        self.materialize_replay("hard-reset");
         self.replay.discard();
+    }
+
+    /// Turns transition recording for the flight recorder on or off.
+    /// Turning it off drops anything not yet drained.
+    pub(crate) fn set_replay_trace(&mut self, on: bool) {
+        self.replay.trace = on;
+        if !on {
+            self.replay.transitions = Vec::new();
+        }
+    }
+
+    /// Takes the engage/exit transitions recorded since the last drain.
+    /// [`crate::Machine`] calls this at chunk closes and at `finish`, then
+    /// stamps each transition with the application-line clock.
+    pub(crate) fn drain_replay_transitions(&mut self) -> Vec<ReplayTransition> {
+        std::mem::take(&mut self.replay.transitions)
     }
 
     /// If replaying, rebuilds the cache and prefetcher state the exact walk
@@ -1090,11 +1163,15 @@ impl CacheSim {
     /// number of replayed periods (plus, for a partial strided window, an
     /// exact re-walk of the already-applied elements). A no-op in detect
     /// mode.
-    fn materialize_replay(&mut self) {
+    fn materialize_replay(&mut self, reason: &'static str) {
         if matches!(self.replay.mode, Mode::Detect) {
             return;
         }
         let mode = std::mem::take(&mut self.replay.mode);
+        if let Some(level) = mode.level() {
+            self.replay
+                .note_transition(ReplayTransition::Exited(level, reason));
+        }
         match mode {
             Mode::Detect => {}
             Mode::Replay(memo) => {
@@ -1235,7 +1312,7 @@ impl CacheSim {
     /// materializes the exact state and drops every detector chain, so the
     /// breaking call re-enters detection from scratch.
     fn leave_closed_form(&mut self) {
-        self.materialize_replay();
+        self.materialize_replay("pattern-break");
         self.replay.discard();
     }
 
@@ -1326,7 +1403,7 @@ impl CacheSim {
     ) {
         // Exit any engaged window replay left by the previous streak.
         if !matches!(self.replay.mode, Mode::Detect) {
-            self.materialize_replay();
+            self.materialize_replay("pattern-break");
         }
 
         if line_count < self.replay.window_lines {
@@ -1420,7 +1497,7 @@ impl CacheSim {
                 }
                 // Tail shorter than a window: resume the exact walk from the
                 // materialized state.
-                self.materialize_replay();
+                self.materialize_replay("pattern-break");
                 self.replay.resume_detection(line);
             }
 
@@ -1492,6 +1569,8 @@ impl CacheSim {
                         base_line: confirm_base,
                         windows_done: 0,
                     }));
+                    self.replay
+                        .note_transition(ReplayTransition::Engaged(ReplayLevel::Window));
                 } else {
                     // Deltas repeat but the state is not uniformly shifted
                     // (or the feedback gate failed): back off before paying
@@ -1616,6 +1695,8 @@ impl CacheSim {
                     pf_useful,
                     passes_done: 0,
                 }));
+                self.replay
+                    .note_transition(ReplayTransition::Engaged(ReplayLevel::Pass));
                 // No contiguous streak may continue under an engaged pass,
                 // and the window residue from the logged pass is dead.
                 self.replay.streak = false;
@@ -1814,6 +1895,8 @@ impl CacheSim {
                     elem_idx: 0,
                 };
                 self.replay.mode = Mode::Strided(Box::new(memo));
+                self.replay
+                    .note_transition(ReplayTransition::Engaged(ReplayLevel::Strided));
                 // The engaged memo owns the fingerprint; no detector residue
                 // may survive underneath it.
                 self.replay.s_active = false;

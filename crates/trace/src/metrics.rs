@@ -1,0 +1,218 @@
+//! A deterministic metrics registry.
+//!
+//! Counters, gauges and power-of-two histograms keyed by name in
+//! `BTreeMap`s, so iteration, serialization and snapshots are totally
+//! ordered — two identical runs produce byte-identical snapshots. No clocks,
+//! no hashing, no sampling: the registry is as reproducible as the
+//! simulation feeding it.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A power-of-two-bucketed histogram over `u64` observations.
+///
+/// Bucket `i` counts observations with `value < 2^i` that no smaller bucket
+/// caught (i.e. the bucket upper bounds are 1, 2, 4, 8, ...). Exact `count`,
+/// `sum`, `min` and `max` are carried alongside, so coarse buckets never
+/// cost the exact aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        // Upper-bound exponent: smallest i with value < 2^i (64 for values
+        // with the top bit set).
+        let exp = 64 - value.leading_zeros();
+        *self.buckets.entry(exp).or_insert(0) += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|(&exp, &count)| HistogramBucket {
+                    le: if exp >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << exp) - 1
+                    },
+                    count,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One bucket of a [`HistogramSnapshot`]: `count` observations with
+/// `value <= le` not counted by a smaller bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket (`2^i - 1`).
+    pub le: u64,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// Immutable, serializable view of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Occupied buckets in ascending bound order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// Immutable, serializable, totally ordered view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges, sorted by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The registry: named counters, gauges and histograms with deterministic
+/// (sorted) iteration and snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the named counter, creating it at zero.
+    pub fn inc_counter(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Read one counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read one gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Read one histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A sorted, serializable snapshot of everything in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("b", 2);
+        m.inc_counter("a", 1);
+        m.inc_counter("b", 3);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(m.counter("b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 9] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 14);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 9);
+        // 0 -> le 0; 1,1 -> le 1; 3 -> le 3; 9 -> le 15.
+        let bounds: Vec<(u64, u64)> = snap.buckets.iter().map(|b| (b.le, b.count)).collect();
+        assert_eq!(bounds, [(0, 1), (1, 2), (3, 1), (15, 1)]);
+    }
+
+    #[test]
+    fn snapshot_serialization_is_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("z", 1.5);
+        m.inc_counter("x", 7);
+        m.observe("y", 42);
+        let a = serde_json::to_string(&m.snapshot()).expect("serialize snapshot");
+        let b = serde_json::to_string(&m.snapshot()).expect("serialize snapshot");
+        assert_eq!(a, b);
+        assert!(a.contains("\"x\":7"));
+    }
+}

@@ -3,7 +3,9 @@
 use dismem::analysis::{five_number_summary, percentile, Roofline};
 use dismem::sim::tiering::{HotPromote, PeriodicRebalance};
 use dismem::sim::{InterferenceProfile, Machine, MachineConfig, Tier, TieringSpec};
-use dismem::trace::{AccessKind, MemoryEngine, PageHistogram, PlacementPolicy, PAGE_SIZE};
+use dismem::trace::{
+    AccessKind, FlightRecorder, MemoryEngine, PageHistogram, PlacementPolicy, TraceEvent, PAGE_SIZE,
+};
 use proptest::prelude::*;
 
 /// A small synthetic access script: (offset pages, length bytes, write?).
@@ -734,6 +736,30 @@ fn replay_script_body<'a>(script: &'a [(u8, u64, u64, u64, bool)]) -> impl Fn(&m
     }
 }
 
+/// Runs `body` on one pipeline with a [`FlightRecorder`] attached and
+/// returns the report plus the recorder's event stream.
+fn run_tiered_recorded(
+    config: &MachineConfig,
+    spec: &TieringSpec,
+    pipeline: Pipeline,
+    body: impl Fn(&mut Machine),
+) -> (dismem::sim::RunReport, Vec<TraceEvent>) {
+    let mut m = Machine::new(config.clone());
+    pipeline.configure(&mut m);
+    m.set_tiering_spec(spec);
+    m.set_recorder(Box::new(FlightRecorder::new()));
+    body(&mut m);
+    let report = m.finish();
+    let recorder = m
+        .take_recorder()
+        .expect("recorder installed above survives the run")
+        .into_any()
+        .downcast::<FlightRecorder>()
+        .expect("flight recorder comes back");
+    let (events, _metrics) = recorder.into_parts();
+    (report, events)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -781,6 +807,42 @@ proptest! {
         let (replay, _) = run_tiered(&config, Some(&spec), Pipeline::Replay, &body);
         prop_assert_eq!(&batched, &per_line);
         prop_assert_eq!(&replay, &per_line);
+    }
+
+    /// The flight recorder is read-only — attaching one must not change a
+    /// single report bit on any pipeline — and the *semantic* event stream
+    /// (epoch closes, migrations, spills) is itself part of the equivalence
+    /// contract: per-line, batched and replay runs of the same script must
+    /// emit identical semantic events with identical simulated timestamps.
+    /// (Replay engage/exit events are pipeline-level diagnostics and are
+    /// expected to differ.)
+    #[test]
+    fn recording_is_invisible_and_semantic_events_are_pipeline_identical(
+        script in replay_script(),
+    ) {
+        let config = MachineConfig::test_config().with_local_capacity(80 * PAGE_SIZE);
+        let spec = test_hot_promote();
+        let body = replay_script_body(&script);
+        let mut semantic_streams = Vec::new();
+        for pipeline in [Pipeline::PerLine, Pipeline::Batched, Pipeline::Replay] {
+            let (plain, _) = run_tiered(&config, Some(&spec), pipeline, &body);
+            let (recorded, events) = run_tiered_recorded(&config, &spec, pipeline, &body);
+            prop_assert_eq!(&recorded, &plain, "recording perturbed the report");
+            // Timestamps never run backwards within one recording.
+            for w in events.windows(2) {
+                prop_assert!(w[1].timestamp() >= w[0].timestamp(), "{:?}", w);
+            }
+            semantic_streams.push(
+                events
+                    .into_iter()
+                    .filter(TraceEvent::is_semantic)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let (first, rest) = semantic_streams.split_first().unwrap();
+        for stream in rest {
+            prop_assert_eq!(stream, first, "semantic events diverged across pipelines");
+        }
     }
 }
 
