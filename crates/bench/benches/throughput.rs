@@ -23,9 +23,15 @@
 //! expected to be free on the hot path (events only materialize at chunk
 //! closes), so the ratio must stay within measurement noise.
 //!
+//! A fifth section measures the warm-start snapshot cache: fleet-campaign
+//! cells per wall-clock second with every warm-up simulated cold vs
+//! restored from one content-addressed snapshot per warm prefix, plus the
+//! per-cell restore latency — asserting along the way that the warm
+//! report is bit-identical to the cold one.
+//!
 //! Emits `BENCH_throughput.json` (an object with `throughput`, `campaign`,
-//! `tiering` and `tracing` sections) so CI and later PRs can track the
-//! performance trajectory. Run
+//! `tiering`, `tracing` and `snapshot` sections) so CI and later PRs can
+//! track the performance trajectory. Run
 //! with `DISMEM_QUICK=1` for the smoke profile. With `DISMEM_BASELINE=<path
 //! to a committed BENCH_throughput.json>` the bench exits non-zero if the
 //! stream replay speedup (a machine-independent ratio, unlike absolute
@@ -39,7 +45,7 @@ use dismem_bench::{base_config, is_quick, print_table, write_json, Row};
 use dismem_sched::{
     default_specs, merge_shard_journals, resume_campaign, run_fleet_campaign,
     sweep_tiering_policies, CampaignConfig, FaultPlan, FleetSpec, Shard, SimCellRunner,
-    TieringOutcome,
+    SnapshotCache, SnapshotStats, TieringOutcome,
 };
 use dismem_sim::Machine;
 use dismem_trace::access::lines_for;
@@ -197,16 +203,17 @@ struct ThroughputResult {
     replay_stride_elements: u64,
 }
 
-/// The emitted JSON: the pipeline throughput table plus the fleet-campaign
-/// and tiering-policy sections. The baseline scanner below is line-based and
-/// section-aware: it reads only the `throughput` section, so the trailing
-/// sections cannot perturb the regression gate.
+/// The emitted JSON: the pipeline throughput table plus the fleet-campaign,
+/// tiering-policy, tracing and snapshot sections. The baseline scanner below
+/// is line-based and section-aware: it reads only the `throughput` section,
+/// so the trailing sections cannot perturb the regression gate.
 #[derive(Serialize)]
 struct ThroughputReport {
     throughput: Vec<ThroughputResult>,
     campaign: CampaignBench,
     tiering: Vec<TieringOutcome>,
     tracing: TracingBench,
+    snapshot: SnapshotBench,
 }
 
 /// Flight-recorder overhead on the default (replay) pipeline's stream
@@ -381,6 +388,124 @@ fn campaign_bench(quick: bool) -> CampaignBench {
         sequential_cells_per_sec,
         sharded_cells_per_sec,
         resumed_warm_cells_per_sec,
+    }
+}
+
+/// Warm-start snapshot-cache throughput on the fleet grid (§8 of
+/// `docs/ARCHITECTURE.md`): campaign cells/s with every warm-up simulated
+/// cold vs restored from one content-addressed snapshot per warm prefix.
+#[derive(Serialize)]
+struct SnapshotBench {
+    /// Cells in the benchmarked grid.
+    grid_cells: u64,
+    /// Distinct warm prefixes (= snapshots taken on the warm run).
+    warm_prefixes: u64,
+    /// Cold campaign: no cache, every cell simulates its own warm-up.
+    cold_cells_per_sec: f64,
+    /// Warm campaign over a fresh cache: one miss per prefix, hits after.
+    warm_cells_per_sec: f64,
+    /// warm / cold — above 1.0 means restoring beats re-simulating.
+    warm_speedup: f64,
+    /// Mean wall-clock seconds to load + restore + finish one cached cell,
+    /// measured on a second campaign over the populated cache (all hits).
+    restore_latency_s: f64,
+}
+
+/// Measures warm-vs-cold fleet-campaign throughput, asserting the
+/// bit-identity contract along the way: the warm report (snapshot stats
+/// normalized) must serialize identically to the cold one.
+fn snapshot_bench(quick: bool) -> SnapshotBench {
+    let config = base_config();
+    // Many seeds per warm prefix: that is the regime the cache exists for
+    // (policy × seed cells of one prefix share one snapshot).
+    let spec = FleetSpec {
+        workloads: vec!["BFS".into(), "XSBench".into()],
+        capacities_permille: vec![250, 750],
+        seeds: (0..if quick { 4u64 } else { 16 })
+            .map(|i| 0xD15C + i)
+            .collect(),
+        ..FleetSpec::tiny_grid(&config)
+    };
+    let cells = spec.cells().len() as u64;
+    let prefixes = (spec.workloads.len()
+        * spec.scales.len()
+        * spec.capacities_permille.len()
+        * spec.links.len()) as u64;
+    let dir = std::env::temp_dir().join(format!("dismem-bench-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create snapshot bench dir");
+    let journal = |name: &str| {
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    };
+
+    let cold_runner = SimCellRunner::quick(config.clone());
+    let start = Instant::now();
+    let cold = run_fleet_campaign(
+        &spec,
+        &cold_runner,
+        &journal("cold.jsonl"),
+        None,
+        &FaultPlan::none(),
+    )
+    .expect("cold campaign");
+    let cold_cells_per_sec = cells as f64 / start.elapsed().as_secs_f64().max(1e-12);
+
+    let cache_dir = dir.join("snapshots");
+    let cache = SnapshotCache::new(&cache_dir).expect("create snapshot cache");
+    let warm_runner = SimCellRunner::quick(config.clone()).with_snapshot_cache(cache);
+    let start = Instant::now();
+    let warm = run_fleet_campaign(
+        &spec,
+        &warm_runner,
+        &journal("warm.jsonl"),
+        None,
+        &FaultPlan::none(),
+    )
+    .expect("warm campaign");
+    let warm_cells_per_sec = cells as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    assert_eq!(
+        warm.snapshot,
+        SnapshotStats {
+            hits: cells - prefixes,
+            misses: prefixes,
+            fallbacks: 0
+        },
+        "warm campaign must miss once per prefix and never fall back"
+    );
+    let mut normalized = warm.clone();
+    normalized.snapshot = SnapshotStats::default();
+    assert_eq!(
+        serde_json::to_string(&normalized).expect("serialize warm report"),
+        serde_json::to_string(&cold).expect("serialize cold report"),
+        "warm campaign must be bit-identical to the cold run"
+    );
+
+    // Restore latency: a second campaign over the populated cache is all
+    // hits, so its per-cell time is load + restore + finish.
+    let hot_cache = SnapshotCache::new(&cache_dir).expect("reopen snapshot cache");
+    let hot_runner = SimCellRunner::quick(config).with_snapshot_cache(hot_cache);
+    let start = Instant::now();
+    let hot = run_fleet_campaign(
+        &spec,
+        &hot_runner,
+        &journal("hot.jsonl"),
+        None,
+        &FaultPlan::none(),
+    )
+    .expect("hot campaign");
+    let restore_latency_s = start.elapsed().as_secs_f64() / cells as f64;
+    assert_eq!(hot.snapshot.hits, cells, "hot campaign must be all hits");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    SnapshotBench {
+        grid_cells: cells,
+        warm_prefixes: prefixes,
+        cold_cells_per_sec,
+        warm_cells_per_sec,
+        warm_speedup: warm_cells_per_sec / cold_cells_per_sec,
+        restore_latency_s,
     }
 }
 
@@ -698,11 +823,36 @@ fn main() {
         "\nExpected shape: attaching a recorder costs nothing measurable — events only \
          materialize at chunk closes, and the unrecorded default allocates nothing."
     );
+    let snapshot = snapshot_bench(quick);
+    print_table(
+        "Warm-start snapshots — campaign cells per wall-clock second, cold vs warm",
+        &[
+            "cells", "prefixes", "cold c/s", "warm c/s", "speedup", "restore",
+        ],
+        &[Row::new(
+            "fleet-grid".to_string(),
+            vec![
+                format!("{}", snapshot.grid_cells),
+                format!("{}", snapshot.warm_prefixes),
+                format!("{:.0}", snapshot.cold_cells_per_sec),
+                format!("{:.0}", snapshot.warm_cells_per_sec),
+                format!("{:.2}x", snapshot.warm_speedup),
+                format!("{:.2} ms", snapshot.restore_latency_s * 1e3),
+            ],
+        )],
+    );
+    println!(
+        "\nExpected shape: the warm campaign restores one snapshot per prefix instead of \
+         re-simulating every warm-up, so with enough cells per prefix warm cells/s beats \
+         cold — bit-identically, as asserted against the cold report (the quick profile's \
+         few-seed grid amortizes too little to show the win)."
+    );
     let report = ThroughputReport {
         throughput: results,
         campaign,
         tiering,
         tracing,
+        snapshot,
     };
     write_json("BENCH_throughput", &report);
     let results = report.throughput;

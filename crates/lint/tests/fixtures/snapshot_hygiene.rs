@@ -1,0 +1,26 @@
+// Known-bad: snapshot codec entry points outside the audited modules.
+// Expected: exactly two snapshot-hygiene findings — the `fn` item definition
+// is not a call, test-module use is fine, and the justified allow holds.
+
+fn roll_your_own_cache(snapshot: &MachineSnapshot, digest: u64) -> Vec<u8> {
+    let bytes = snapshot.to_snapshot_bytes(digest); // BAD
+    let _peek = decode_value(&bytes); // BAD
+    bytes
+}
+
+// A local helper merely *named* like a codec entry point is not a call.
+fn encode_value(_doc: u64) {}
+
+fn audited_elsewhere(snapshot: &MachineSnapshot) -> Vec<u8> {
+    // dismem-lint: allow(snapshot-hygiene) — fixture: models an audited codec site
+    snapshot.to_snapshot_bytes(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn codec_use_in_tests_is_fine() {
+        let bytes = encode_value(&JsonValue::Null);
+        assert!(decode_value(&bytes).is_ok());
+    }
+}

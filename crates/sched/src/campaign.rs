@@ -26,6 +26,7 @@
 use crate::fault::FaultPlan;
 use crate::journal::{CellMetrics, JournalError, JournalRecord, JournalWriter};
 use crate::policy::SchedulingPolicy;
+use crate::snapshot_cache::{SnapshotCache, SnapshotStats};
 use dismem_analysis::{five_number_summary, mean, FiveNumberSummary};
 use dismem_core::{fnv1a64, CellKey};
 use dismem_profiler::{pooled_config, run_workload, RunOptions};
@@ -408,6 +409,14 @@ impl Shard {
 pub trait CellRunner {
     /// Runs the cell and returns its metrics, or an error message.
     fn run(&self, key: &CellKey) -> Result<CellMetrics, String>;
+
+    /// Warm-start activity counters accumulated so far. Runners without a
+    /// snapshot cache report all-zero stats; the fleet driver differences
+    /// this across a campaign to stamp the report's
+    /// [`snapshot`](CampaignReport::snapshot) field.
+    fn snapshot_stats(&self) -> SnapshotStats {
+        SnapshotStats::default()
+    }
 }
 
 /// The production [`CellRunner`]: profiles the workload under the cell's
@@ -422,6 +431,8 @@ pub struct SimCellRunner {
     pub runs: usize,
     /// Interference epochs per trial.
     pub epochs_per_run: usize,
+    /// Warm-start snapshot cache; `None` profiles every cell cold.
+    snapshots: Option<SnapshotCache>,
 }
 
 impl SimCellRunner {
@@ -431,6 +442,7 @@ impl SimCellRunner {
             base,
             runs: 100,
             epochs_per_run: 8,
+            snapshots: None,
         }
     }
 
@@ -440,7 +452,23 @@ impl SimCellRunner {
             base,
             runs: 20,
             epochs_per_run: 4,
+            snapshots: None,
         }
+    }
+
+    /// Attaches a content-addressed snapshot cache: cells sharing a warm
+    /// prefix (workload/scale/capacity/link/config) restore the profiled
+    /// machine from `<dir>/<digest:016x>.snap` instead of re-simulating the
+    /// warm-up. Reports stay bit-identical to cold runs; unusable snapshots
+    /// fall back cold and are counted (see [`crate::snapshot_cache`]).
+    pub fn with_snapshot_cache(mut self, cache: SnapshotCache) -> SimCellRunner {
+        self.snapshots = Some(cache);
+        self
+    }
+
+    /// The attached snapshot cache, if any.
+    pub fn snapshot_cache(&self) -> Option<&SnapshotCache> {
+        self.snapshots.as_ref()
     }
 }
 
@@ -485,7 +513,10 @@ impl CellRunner for SimCellRunner {
         }
         let local_fraction = f64::from(key.capacity_permille) / 1000.0;
         let config = pooled_config(&base, workload.as_ref(), local_fraction);
-        let report = run_workload(workload.as_ref(), &RunOptions::new(config));
+        let report = match &self.snapshots {
+            Some(cache) => cache.profiled_report(key, workload.as_ref(), &config),
+            None => run_workload(workload.as_ref(), &RunOptions::new(config)),
+        };
         let campaign = run_campaign(
             &key.workload,
             &report,
@@ -506,6 +537,12 @@ impl CellRunner for SimCellRunner {
             max_runtime_s: campaign.summary.max,
             remote_access_ratio: report.remote_access_ratio(),
         })
+    }
+
+    fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshots
+            .as_ref()
+            .map_or_else(SnapshotStats::default, SnapshotCache::stats)
     }
 }
 
@@ -553,6 +590,12 @@ pub struct CampaignReport {
     /// True when resume dropped a torn trailing journal line (the cell was
     /// re-run). False on a fresh run and on a clean resume.
     pub dropped_torn_tail: bool,
+    /// Warm-start activity of this campaign's cells: snapshot-cache hits,
+    /// misses, and cold-run fallbacks (all zero for cache-less runners and
+    /// for resumes that replayed every cell from the journal). Fallbacks are
+    /// the audit trail of unusable snapshots — the cells still completed,
+    /// bit-identically to a cold run.
+    pub snapshot: SnapshotStats,
 }
 
 /// What a resume replayed versus re-ran.
@@ -702,6 +745,9 @@ fn drive(
 ) -> Result<(CampaignReport, ResumeStats), CampaignError> {
     assert!(spec.max_attempts >= 1, "max_attempts must be at least 1");
     let digest = spec.digest_hex();
+    // Snapshot-cache counters are differenced across this drive, so a cache
+    // shared between campaigns attributes each cell to the right report.
+    let snapshot_before = runner.snapshot_stats();
     let cells: Vec<CellKey> = spec
         .cells()
         .into_iter()
@@ -837,7 +883,15 @@ fn drive(
         }
     }
 
-    let report = build_report(&digest, cells.len() as u64, &done, &stats)?;
+    let snapshot_after = runner.snapshot_stats();
+    let snapshot = SnapshotStats {
+        hits: snapshot_after.hits.saturating_sub(snapshot_before.hits),
+        misses: snapshot_after.misses.saturating_sub(snapshot_before.misses),
+        fallbacks: snapshot_after
+            .fallbacks
+            .saturating_sub(snapshot_before.fallbacks),
+    };
+    let report = build_report(&digest, cells.len() as u64, &done, &stats, snapshot)?;
     Ok((report, stats))
 }
 
@@ -846,6 +900,7 @@ fn build_report(
     total_cells: u64,
     done: &BTreeMap<String, JournalRecord>,
     stats: &ResumeStats,
+    snapshot: SnapshotStats,
 ) -> Result<CampaignReport, CampaignError> {
     let mut completed = Vec::new();
     let mut failed_cells = Vec::new();
@@ -885,6 +940,7 @@ fn build_report(
         failed_cells,
         rejected_records: stats.digest_rejected + stats.unknown_cells,
         dropped_torn_tail: stats.torn_tail,
+        snapshot,
     })
 }
 

@@ -35,6 +35,7 @@ pub mod campaign;
 pub mod fault;
 pub mod journal;
 pub mod policy;
+pub mod snapshot_cache;
 pub mod tiering;
 
 pub use campaign::compare_policies_checked;
@@ -44,12 +45,13 @@ pub use campaign::{
     CellRunner, CompletedCell, FailedCell, FleetSpec, PolicyComparison, ResumeStats, Shard,
     SimCellRunner,
 };
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, SnapshotTamper};
 pub use journal::{
     load_journal, merge_shard_journals, CellMetrics, JournalError, JournalRecord, JournalWriter,
     LoadedJournal,
 };
 pub use policy::SchedulingPolicy;
+pub use snapshot_cache::{warm_key_digest, SnapshotCache, SnapshotStats};
 pub use tiering::{
     default_specs, run_with_tiering, run_with_tiering_checked, sweep_tiering_matrix,
     sweep_tiering_policies, CapacityTieringSweep, PolicyFailure, TieringOutcome, TieringSweep,

@@ -10,7 +10,7 @@ use dismem_core::{fnv1a64, CellKey};
 use dismem_sched::{
     load_journal, merge_shard_journals, resume_campaign, run_fleet_campaign, CampaignError,
     CampaignReport, CellMetrics, CellRunner, FaultPlan, FleetSpec, JournalError, Shard,
-    SimCellRunner,
+    SimCellRunner, SnapshotCache, SnapshotStats, SnapshotTamper,
 };
 use dismem_sim::MachineConfig;
 use proptest::prelude::*;
@@ -68,12 +68,14 @@ fn json(report: &CampaignReport) -> String {
 
 /// Serialized form with the resume-diagnostic fields cleared: a resume that
 /// legitimately dropped records (torn tail, foreign digests) reports those
-/// drops, so comparisons against a fresh-run reference normalize them away
-/// and assert the diagnostics explicitly instead.
+/// drops — and a warm-started campaign reports its snapshot-cache activity —
+/// so comparisons against a fresh-run reference normalize them away and
+/// assert the diagnostics explicitly instead.
 fn json_normalized(report: &CampaignReport) -> String {
     let mut normalized = report.clone();
     normalized.rejected_records = 0;
     normalized.dropped_torn_tail = false;
+    normalized.snapshot = SnapshotStats::default();
     json(&normalized)
 }
 
@@ -512,6 +514,146 @@ fn traced_campaign_is_bit_identical_and_emits_the_cell_lifecycle() {
 // ---------------------------------------------------------------------------
 // End to end with the production runner.
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Snapshot warm-start faults.
+// ---------------------------------------------------------------------------
+
+/// 1 workload × 2 policies × 2 seeds sharing one warm prefix: the smallest
+/// grid on which the snapshot cache amortizes (1 miss + 3 hits).
+fn snap_spec() -> FleetSpec {
+    FleetSpec {
+        workloads: vec!["BFS".to_string()],
+        scales: vec!["tiny".to_string()],
+        policies: vec!["baseline".to_string(), "aware".to_string()],
+        capacities_permille: vec![500],
+        links: vec!["upi".to_string()],
+        seeds: vec![7, 8],
+        max_attempts: 2,
+        config_digest: MachineConfig::test_config().config_digest(),
+    }
+}
+
+fn temp_cache_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dismem-resilience-{}-cache-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn warm_runner(dir: &PathBuf) -> SimCellRunner {
+    SimCellRunner::quick(MachineConfig::test_config())
+        .with_snapshot_cache(SnapshotCache::new(dir).expect("create cache dir"))
+}
+
+/// The cold (cache-less) reference report for [`snap_spec`].
+fn snap_reference(name: &str) -> CampaignReport {
+    let path = temp_journal(&format!("{name}-cold"));
+    let runner = SimCellRunner::quick(MachineConfig::test_config());
+    let report = run_fleet_campaign(&snap_spec(), &runner, &path, None, &FaultPlan::none())
+        .expect("cold reference");
+    assert_eq!(report.completed.len(), 4);
+    assert_eq!(report.snapshot, SnapshotStats::default());
+    report
+}
+
+#[test]
+fn warm_start_campaign_is_bit_identical_to_cold() {
+    let cold = snap_reference("snap-warm");
+    let dir = temp_cache_dir("warm");
+
+    // Fresh cache: the first cell of the prefix misses and writes the
+    // snapshot, the other three warm-start from it.
+    let warm_path = temp_journal("snap-warm-warm");
+    let warm = run_fleet_campaign(
+        &snap_spec(),
+        &warm_runner(&dir),
+        &warm_path,
+        None,
+        &FaultPlan::none(),
+    )
+    .expect("warm campaign");
+    assert_eq!(
+        warm.snapshot,
+        SnapshotStats {
+            hits: 3,
+            misses: 1,
+            fallbacks: 0
+        }
+    );
+    assert_eq!(json_normalized(&warm), json_normalized(&cold));
+
+    // A second campaign over the same directory hits the on-disk snapshot
+    // for every cell — no warm-up simulation at all.
+    let again_path = temp_journal("snap-warm-again");
+    let again = run_fleet_campaign(
+        &snap_spec(),
+        &warm_runner(&dir),
+        &again_path,
+        None,
+        &FaultPlan::none(),
+    )
+    .expect("all-hit campaign");
+    assert_eq!(
+        again.snapshot,
+        SnapshotStats {
+            hits: 4,
+            misses: 0,
+            fallbacks: 0
+        }
+    );
+    assert_eq!(json_normalized(&again), json_normalized(&cold));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tampered_snapshots_fall_back_cold_bit_identically() {
+    let cold = snap_reference("snap-tamper");
+    for (tamper, label) in [
+        (SnapshotTamper::Truncate, "truncate"),
+        (SnapshotTamper::ForeignDigest, "foreign"),
+        (SnapshotTamper::VersionMismatch, "version"),
+    ] {
+        let dir = temp_cache_dir(&format!("tamper-{label}"));
+        // Warm the cache, then damage every snapshot file byte-level.
+        let seed_path = temp_journal(&format!("snap-tamper-seed-{label}"));
+        run_fleet_campaign(
+            &snap_spec(),
+            &warm_runner(&dir),
+            &seed_path,
+            None,
+            &FaultPlan::none(),
+        )
+        .expect("cache-warming campaign");
+        let plan = FaultPlan::none().with_snapshot_tamper(tamper);
+        let damaged = plan.tamper_snapshots(&dir).expect("tamper snapshots");
+        assert_eq!(damaged, 1, "{label}: one snapshot file per warm prefix");
+
+        // A fresh campaign over the damaged cache must never abort: every
+        // cell falls back to the cold path, counted, bit-identical.
+        let path = temp_journal(&format!("snap-tamper-{label}"));
+        let report = run_fleet_campaign(&snap_spec(), &warm_runner(&dir), &path, None, &plan)
+            .unwrap_or_else(|e| panic!("{label}: fallback must not abort: {e}"));
+        assert_eq!(
+            report.snapshot,
+            SnapshotStats {
+                hits: 0,
+                misses: 0,
+                fallbacks: 4
+            },
+            "{label}: every cell of the poisoned prefix falls back"
+        );
+        assert!(report.failed_cells.is_empty(), "{label}: no quarantines");
+        assert_eq!(
+            json_normalized(&report),
+            json_normalized(&cold),
+            "{label}: fallback report must be bit-identical to cold"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
 
 #[test]
 fn sim_runner_kill_and_resume_is_bit_identical() {

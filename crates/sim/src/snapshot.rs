@@ -1,0 +1,967 @@
+//! Versioned machine snapshots: full simulated-machine state, serializable
+//! and restorable.
+//!
+//! A [`MachineSnapshot`] freezes everything a [`crate::Machine`] needs to
+//! resume bit-identically: configuration, address-space bindings and memos,
+//! cache sets and stamps, prefetcher streams, replay totals, tiering tracker
+//! and damper history, counters, phases and the timeline. The vendored serde
+//! derive emits the JSON form; this module adds the hand-rolled
+//! `parse_value`-based reader (the same idiom the campaign journal uses) and
+//! a compact length-prefixed binary envelope on top of
+//! `serde_json::{encode_value, decode_value}`, so snapshots round-trip
+//! exactly — full-range `u64` digests and bit-exact `f64` scores included.
+//!
+//! # Contract (see `docs/ARCHITECTURE.md` §8)
+//!
+//! * **Versioning** — the envelope header carries [`SNAPSHOT_VERSION`]; a
+//!   mismatch is a typed [`SnapshotError::VersionMismatch`], never a parse
+//!   attempt against the wrong layout.
+//! * **Digest keying** — the header embeds the caller's FNV-1a key digest;
+//!   a snapshot loaded under a different key fails with
+//!   [`SnapshotError::ForeignDigest`] before any payload work.
+//! * **Replay-state capture rule** — [`crate::Machine::snapshot`] hard-resets
+//!   the replay engine first (materializing any in-flight replay exactly,
+//!   with zero counter effect) and captures only the master switch and the
+//!   lifetime totals; a restored machine re-detects periodicity from scratch,
+//!   which the replay bit-identity contract makes report-invisible.
+//! * **Fallback semantics** — every decode failure is a typed error so
+//!   callers (the campaign snapshot cache) can fall back to a cold run
+//!   instead of aborting.
+
+use crate::address_space::Tier;
+use crate::config::{CacheParams, LinkParams, MachineConfig, PrefetchParams, TierParams};
+use crate::counters::Counters;
+use crate::interference::{InterferenceEpoch, InterferenceProfile};
+use crate::report::TimelineSample;
+use crate::tiering::{HotPromote, PeriodicRebalance, TieringSpec, TieringStats};
+use dismem_trace::{AllocationRecord, ObjectHandle, PlacementPolicy};
+use serde::Serialize;
+use serde_json::{decode_value, encode_value, parse_value, JsonValue};
+use std::fmt;
+
+/// Snapshot format version carried in the envelope header and the payload.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Envelope magic: identifies a dismem machine snapshot file.
+const MAGIC: [u8; 4] = *b"DMSN";
+
+/// Envelope header length: magic (4) + version (4) + key digest (8) +
+/// payload length (8).
+const HEADER_LEN: usize = 24;
+
+/// Error raised by the snapshot codec and by [`crate::Machine::snapshot`] /
+/// [`crate::Machine::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The machine's tiering policy was installed as a raw boxed policy
+    /// (no [`TieringSpec`] on record), so it cannot be serialized.
+    UnsupportedPolicy,
+    /// A flight recorder is installed; recorded machines are not
+    /// snapshottable (recorder state is not serializable).
+    RecorderInstalled,
+    /// The envelope header names a different format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The envelope was written under a different content-address key.
+    ForeignDigest {
+        /// Key digest found in the header.
+        found: u64,
+        /// Key digest the caller expected.
+        expected: u64,
+    },
+    /// The input ends before the envelope or payload is complete.
+    Truncated,
+    /// The payload is structurally invalid (bad magic, checksum mismatch,
+    /// malformed JSON/binary, missing or mistyped fields, inconsistent
+    /// state).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnsupportedPolicy => {
+                write!(f, "tiering policy has no serializable spec")
+            }
+            SnapshotError::RecorderInstalled => {
+                write!(
+                    f,
+                    "machines with a flight recorder installed cannot be snapshotted"
+                )
+            }
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} (this build reads {expected})")
+            }
+            SnapshotError::ForeignDigest { found, expected } => {
+                write!(f, "snapshot keyed {found:016x}, expected {expected:016x}")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// FNV-1a over bytes — the same digest scheme the campaign journal and
+/// [`MachineConfig::config_digest`] use.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot state structs. Serialization comes from the vendored serde derive;
+// deserialization is the hand-rolled `parse_value` reader below.
+// ---------------------------------------------------------------------------
+
+/// One bound page: number, tier and owning allocation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub(crate) struct PageBinding {
+    pub(crate) page: u64,
+    pub(crate) tier: Tier,
+    pub(crate) owner: u32,
+}
+
+/// One allocation extent (contiguous page range).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub(crate) struct ExtentState {
+    pub(crate) first_page: u64,
+    pub(crate) page_count: u64,
+    pub(crate) handle: u32,
+}
+
+/// One page-histogram bucket.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub(crate) struct PageCount {
+    pub(crate) page: u64,
+    pub(crate) count: u64,
+}
+
+/// One tracked page's heat (mid-epoch accrual included).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub(crate) struct HeatEntry {
+    pub(crate) page: u64,
+    pub(crate) score: f64,
+    pub(crate) cur_lines: u64,
+}
+
+/// Frozen [`crate::tiering::HotnessTracker`] state.
+#[derive(Debug, Clone, Serialize)]
+pub(crate) struct HotnessState {
+    pub(crate) decay: f64,
+    pub(crate) epochs_completed: u64,
+    pub(crate) heat: Vec<HeatEntry>,
+    pub(crate) anchor_hot: Vec<u64>,
+}
+
+/// Frozen [`crate::AddressSpace`] state. Hash-backed members are exported as
+/// key-sorted vectors so the serialized form is deterministic.
+#[derive(Debug, Clone, Serialize)]
+pub(crate) struct AddressSpaceState {
+    pub(crate) local_capacity_pages: Option<u64>,
+    pub(crate) pool_capacity_pages: Option<u64>,
+    pub(crate) allocations: Vec<AllocationRecord>,
+    pub(crate) extents: Vec<ExtentState>,
+    pub(crate) placements: Vec<crate::address_space::ObjectPlacement>,
+    pub(crate) assigned_pages: Vec<u64>,
+    pub(crate) next_page: u64,
+    pub(crate) page_tier: Vec<PageBinding>,
+    pub(crate) local_pages_used: u64,
+    pub(crate) pool_pages_used: u64,
+    pub(crate) spilled_pages: u64,
+    pub(crate) live_bytes: u64,
+    pub(crate) peak_bytes: u64,
+    pub(crate) histogram: Vec<PageCount>,
+    pub(crate) hotness: Option<HotnessState>,
+}
+
+/// One set-associative cache level, flattened into parallel arrays:
+/// `tags[i]` / `stamps[i]` / `flags[i]` describe line `i`, with flag bits
+/// 0=valid, 1=dirty, 2=prefetched, 3=used.
+#[derive(Debug, Clone, Serialize)]
+pub(crate) struct CacheLevelState {
+    pub(crate) sets: u64,
+    pub(crate) ways: u64,
+    pub(crate) clock: u64,
+    pub(crate) tags: Vec<u64>,
+    pub(crate) stamps: Vec<u64>,
+    pub(crate) flags: Vec<u64>,
+}
+
+/// One tracked prefetcher stream.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub(crate) struct StreamEntryState {
+    pub(crate) page: u64,
+    pub(crate) last_line: u64,
+    pub(crate) run: u32,
+    pub(crate) stamp: u64,
+    pub(crate) valid: bool,
+}
+
+/// Frozen [`crate::prefetch::StreamPrefetcher`] state (the tuning parameters
+/// come from the config; only the runtime enable switch is captured here).
+#[derive(Debug, Clone, Serialize)]
+pub(crate) struct PrefetcherState {
+    pub(crate) enabled: bool,
+    pub(crate) clock: u64,
+    pub(crate) feedback_useful: u64,
+    pub(crate) feedback_useless: u64,
+    pub(crate) entries: Vec<StreamEntryState>,
+}
+
+/// Replay-engine state surviving a snapshot: the master switch and the
+/// lifetime totals. Detection/memo state is never captured — the snapshot
+/// hard-resets the engine first (see the module docs).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub(crate) struct ReplayState {
+    pub(crate) enabled: bool,
+    pub(crate) windows_replayed_total: u64,
+    pub(crate) passes_replayed_total: u64,
+    pub(crate) stride_elems_replayed_total: u64,
+}
+
+/// Frozen [`crate::CacheSim`] state.
+#[derive(Debug, Clone, Serialize)]
+pub(crate) struct CacheState {
+    pub(crate) l2: CacheLevelState,
+    pub(crate) llc: CacheLevelState,
+    pub(crate) prefetcher: PrefetcherState,
+    pub(crate) replay: ReplayState,
+}
+
+/// One ping-pong damper entry: page → epoch of its last migration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub(crate) struct PageEpoch {
+    pub(crate) page: u64,
+    pub(crate) epoch: u64,
+}
+
+/// Frozen tiering runtime: the policy spec, the epoch clock, the damper
+/// history (key-sorted) and the run statistics.
+#[derive(Debug, Clone, Serialize)]
+pub(crate) struct TieringState {
+    pub(crate) spec: TieringSpec,
+    pub(crate) epoch_acc: u64,
+    pub(crate) epoch: u64,
+    pub(crate) last_migrated: Vec<PageEpoch>,
+    pub(crate) stats: TieringStats,
+}
+
+/// A complete, versioned freeze of one [`crate::Machine`].
+///
+/// Produced by [`crate::Machine::snapshot`], consumed by
+/// [`crate::Machine::restore`]. Round-trips exactly through both the JSON
+/// form ([`MachineSnapshot::to_json`] / [`MachineSnapshot::from_json`]) and
+/// the binary envelope ([`MachineSnapshot::to_snapshot_bytes`] /
+/// [`MachineSnapshot::from_snapshot_bytes`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineSnapshot {
+    pub(crate) version: u32,
+    pub(crate) config: MachineConfig,
+    pub(crate) interference: InterferenceProfile,
+    pub(crate) clock_s: f64,
+    pub(crate) chunk: Counters,
+    pub(crate) chunk_pool_link_lines: u64,
+    pub(crate) batched: bool,
+    pub(crate) spilled_seen: u64,
+    pub(crate) space: AddressSpaceState,
+    pub(crate) cache: CacheState,
+    pub(crate) tiering: TieringState,
+    pub(crate) phase_names: Vec<String>,
+    pub(crate) phase_counters: Vec<Counters>,
+    pub(crate) phase_runtimes: Vec<f64>,
+    pub(crate) current_phase: Option<usize>,
+    pub(crate) total: Counters,
+    pub(crate) timeline: Vec<TimelineSample>,
+}
+
+impl MachineSnapshot {
+    /// The machine configuration frozen in this snapshot.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Simulated time at which the snapshot was taken.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Serializes to compact JSON (the authoritative text form).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        Serialize::serialize_json(self, &mut out);
+        out
+    }
+
+    /// Parses a snapshot from its JSON text form.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        let value = parse_value(text)
+            .map_err(|e| corrupt(format!("json parse: {} at {}", e.message, e.offset)))?;
+        Self::from_value(&value)
+    }
+
+    /// Encodes the snapshot into the length-prefixed binary envelope, keyed
+    /// by `key_digest` (content address of the warm-up prefix). Layout, all
+    /// integers little-endian: `"DMSN"` magic, format version (u32), key
+    /// digest (u64), payload length (u64), binary payload, FNV-1a payload
+    /// checksum (u64).
+    pub fn to_snapshot_bytes(&self, key_digest: u64) -> Vec<u8> {
+        let json = self.to_json();
+        let value = parse_value(&json).expect("snapshot serializer emits valid JSON");
+        let payload = encode_value(&value);
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&key_digest.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let checksum = fnv1a64(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a binary envelope produced by
+    /// [`MachineSnapshot::to_snapshot_bytes`], verifying magic, version,
+    /// key digest, length and checksum — in that order, so tampering with
+    /// any single header field yields its specific typed error.
+    pub fn from_snapshot_bytes(bytes: &[u8], expected_digest: u64) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let mut digest = [0u8; 8];
+        digest.copy_from_slice(&bytes[8..16]);
+        let digest = u64::from_le_bytes(digest);
+        if digest != expected_digest {
+            return Err(SnapshotError::ForeignDigest {
+                found: digest,
+                expected: expected_digest,
+            });
+        }
+        let mut len = [0u8; 8];
+        len.copy_from_slice(&bytes[16..24]);
+        let payload_len = u64::from_le_bytes(len) as usize;
+        let Some(total) = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(8))
+        else {
+            return Err(corrupt("payload length overflows"));
+        };
+        if bytes.len() < total {
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes.len() > total {
+            return Err(corrupt("trailing bytes after checksum"));
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+        let mut check = [0u8; 8];
+        check.copy_from_slice(&bytes[HEADER_LEN + payload_len..]);
+        if u64::from_le_bytes(check) != fnv1a64(payload) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let value = decode_value(payload).map_err(|e| corrupt(format!("binary payload: {e}")))?;
+        let snapshot = Self::from_value(&value)?;
+        if snapshot.version != version {
+            return Err(corrupt("payload version disagrees with header"));
+        }
+        Ok(snapshot)
+    }
+
+    /// Reads a snapshot from a parsed [`JsonValue`] tree.
+    fn from_value(v: &JsonValue) -> Result<Self, SnapshotError> {
+        let version = get_u32(v, "version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        Ok(Self {
+            version,
+            config: config_from_value(field(v, "config")?)?,
+            interference: interference_from_value(field(v, "interference")?)?,
+            clock_s: get_f64(v, "clock_s")?,
+            chunk: counters_from_value(field(v, "chunk")?)?,
+            chunk_pool_link_lines: get_u64(v, "chunk_pool_link_lines")?,
+            batched: get_bool(v, "batched")?,
+            spilled_seen: get_u64(v, "spilled_seen")?,
+            space: space_from_value(field(v, "space")?)?,
+            cache: cache_from_value(field(v, "cache")?)?,
+            tiering: tiering_from_value(field(v, "tiering")?)?,
+            phase_names: get_arr(v, "phase_names")?
+                .iter()
+                .map(str_of)
+                .collect::<Result<_, _>>()?,
+            phase_counters: get_arr(v, "phase_counters")?
+                .iter()
+                .map(counters_from_value)
+                .collect::<Result<_, _>>()?,
+            phase_runtimes: get_arr(v, "phase_runtimes")?
+                .iter()
+                .map(f64_of)
+                .collect::<Result<_, _>>()?,
+            current_phase: match field(v, "current_phase")? {
+                JsonValue::Null => None,
+                other => Some(u64_of(other)? as usize),
+            },
+            total: counters_from_value(field(v, "total")?)?,
+            timeline: get_arr(v, "timeline")?
+                .iter()
+                .map(timeline_from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader helpers: typed field access over `JsonValue` with descriptive
+// `Corrupt` errors.
+// ---------------------------------------------------------------------------
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, SnapshotError> {
+    v.get(key)
+        .ok_or_else(|| corrupt(format!("missing field '{key}'")))
+}
+
+fn u64_of(v: &JsonValue) -> Result<u64, SnapshotError> {
+    v.as_u64().ok_or_else(|| corrupt("expected u64"))
+}
+
+fn f64_of(v: &JsonValue) -> Result<f64, SnapshotError> {
+    v.as_f64().ok_or_else(|| corrupt("expected f64"))
+}
+
+fn bool_of(v: &JsonValue) -> Result<bool, SnapshotError> {
+    v.as_bool().ok_or_else(|| corrupt("expected bool"))
+}
+
+fn str_of(v: &JsonValue) -> Result<String, SnapshotError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| corrupt("expected string"))
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, SnapshotError> {
+    u64_of(field(v, key)?).map_err(|_| corrupt(format!("field '{key}' is not a u64")))
+}
+
+fn get_u32(v: &JsonValue, key: &str) -> Result<u32, SnapshotError> {
+    let raw = get_u64(v, key)?;
+    u32::try_from(raw).map_err(|_| corrupt(format!("field '{key}' exceeds u32")))
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> Result<f64, SnapshotError> {
+    f64_of(field(v, key)?).map_err(|_| corrupt(format!("field '{key}' is not an f64")))
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, SnapshotError> {
+    bool_of(field(v, key)?).map_err(|_| corrupt(format!("field '{key}' is not a bool")))
+}
+
+fn get_str(v: &JsonValue, key: &str) -> Result<String, SnapshotError> {
+    str_of(field(v, key)?).map_err(|_| corrupt(format!("field '{key}' is not a string")))
+}
+
+fn get_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], SnapshotError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| corrupt(format!("field '{key}' is not an array")))
+}
+
+fn get_opt_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, SnapshotError> {
+    match field(v, key)? {
+        JsonValue::Null => Ok(None),
+        other => u64_of(other)
+            .map(Some)
+            .map_err(|_| corrupt(format!("field '{key}' is not a u64 or null"))),
+    }
+}
+
+fn u64_arr(v: &JsonValue, key: &str) -> Result<Vec<u64>, SnapshotError> {
+    get_arr(v, key)?.iter().map(u64_of).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Per-type readers, inverting the derive-emitted JSON exactly.
+// ---------------------------------------------------------------------------
+
+fn config_from_value(v: &JsonValue) -> Result<MachineConfig, SnapshotError> {
+    Ok(MachineConfig {
+        peak_flops: get_f64(v, "peak_flops")?,
+        cores: get_u32(v, "cores")?,
+        mlp: get_f64(v, "mlp")?,
+        local: tier_params_from_value(field(v, "local")?)?,
+        pool: tier_params_from_value(field(v, "pool")?)?,
+        link: LinkParams {
+            data_bandwidth_bps: get_f64(field(v, "link")?, "data_bandwidth_bps")?,
+            raw_bandwidth_bps: get_f64(field(v, "link")?, "raw_bandwidth_bps")?,
+            max_utilization: get_f64(field(v, "link")?, "max_utilization")?,
+            bandwidth_contention_factor: get_f64(field(v, "link")?, "bandwidth_contention_factor")?,
+        },
+        cache: CacheParams {
+            l2_bytes: get_u64(field(v, "cache")?, "l2_bytes")?,
+            l2_ways: get_u32(field(v, "cache")?, "l2_ways")?,
+            llc_bytes: get_u64(field(v, "cache")?, "llc_bytes")?,
+            llc_ways: get_u32(field(v, "cache")?, "llc_ways")?,
+            line_bytes: get_u64(field(v, "cache")?, "line_bytes")?,
+        },
+        prefetch: PrefetchParams {
+            enabled: get_bool(field(v, "prefetch")?, "enabled")?,
+            degree: get_u32(field(v, "prefetch")?, "degree")?,
+            trigger: get_u32(field(v, "prefetch")?, "trigger")?,
+            max_streams: get_u64(field(v, "prefetch")?, "max_streams")? as usize,
+        },
+        chunk_bytes: get_u64(v, "chunk_bytes")?,
+        chunk_flops: get_u64(v, "chunk_flops")?,
+    })
+}
+
+fn tier_params_from_value(v: &JsonValue) -> Result<TierParams, SnapshotError> {
+    Ok(TierParams {
+        name: get_str(v, "name")?,
+        capacity_bytes: get_opt_u64(v, "capacity_bytes")?,
+        bandwidth_bps: get_f64(v, "bandwidth_bps")?,
+        latency_s: get_f64(v, "latency_s")?,
+    })
+}
+
+fn interference_from_value(v: &JsonValue) -> Result<InterferenceProfile, SnapshotError> {
+    match v {
+        JsonValue::String(s) if s == "Idle" => Ok(InterferenceProfile::Idle),
+        JsonValue::Object(_) => {
+            if let Some(level) = v.get("Constant") {
+                return Ok(InterferenceProfile::Constant(f64_of(level)?));
+            }
+            if let Some(epochs) = v.get("Schedule") {
+                let epochs = epochs
+                    .as_array()
+                    .ok_or_else(|| corrupt("Schedule is not an array"))?
+                    .iter()
+                    .map(|e| {
+                        Ok(InterferenceEpoch {
+                            start_s: get_f64(e, "start_s")?,
+                            loi: get_f64(e, "loi")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, SnapshotError>>()?;
+                return Ok(InterferenceProfile::Schedule(epochs));
+            }
+            Err(corrupt("unknown interference profile variant"))
+        }
+        _ => Err(corrupt("malformed interference profile")),
+    }
+}
+
+fn counters_from_value(v: &JsonValue) -> Result<Counters, SnapshotError> {
+    Ok(Counters {
+        flops: get_u64(v, "flops")?,
+        demand_read_lines: get_u64(v, "demand_read_lines")?,
+        demand_write_lines: get_u64(v, "demand_write_lines")?,
+        l2_demand_misses: get_u64(v, "l2_demand_misses")?,
+        l2_lines_in: get_u64(v, "l2_lines_in")?,
+        pf_issued: get_u64(v, "pf_issued")?,
+        pf_useful: get_u64(v, "pf_useful")?,
+        useless_hwpf: get_u64(v, "useless_hwpf")?,
+        dram_lines_local: get_u64(v, "dram_lines_local")?,
+        dram_lines_pool: get_u64(v, "dram_lines_pool")?,
+        demand_dram_lines_local: get_u64(v, "demand_dram_lines_local")?,
+        demand_dram_lines_pool: get_u64(v, "demand_dram_lines_pool")?,
+        writeback_lines_local: get_u64(v, "writeback_lines_local")?,
+        writeback_lines_pool: get_u64(v, "writeback_lines_pool")?,
+        link_raw_bytes: get_u64(v, "link_raw_bytes")?,
+        migration_lines_local: get_u64(v, "migration_lines_local")?,
+        migration_lines_pool: get_u64(v, "migration_lines_pool")?,
+    })
+}
+
+fn timeline_from_value(v: &JsonValue) -> Result<TimelineSample, SnapshotError> {
+    Ok(TimelineSample {
+        start_s: get_f64(v, "start_s")?,
+        duration_s: get_f64(v, "duration_s")?,
+        counters: counters_from_value(field(v, "counters")?)?,
+        phase: match field(v, "phase")? {
+            JsonValue::Null => None,
+            other => Some(u64_of(other)? as usize),
+        },
+    })
+}
+
+fn tier_from_value(v: &JsonValue) -> Result<Tier, SnapshotError> {
+    match v.as_str() {
+        Some("Local") => Ok(Tier::Local),
+        Some("Pool") => Ok(Tier::Pool),
+        _ => Err(corrupt("unknown tier")),
+    }
+}
+
+fn policy_from_value(v: &JsonValue) -> Result<PlacementPolicy, SnapshotError> {
+    match v {
+        JsonValue::String(s) => match s.as_str() {
+            "FirstTouch" => Ok(PlacementPolicy::FirstTouch),
+            "ForceLocal" => Ok(PlacementPolicy::ForceLocal),
+            "ForceRemote" => Ok(PlacementPolicy::ForceRemote),
+            other => Err(corrupt(format!("unknown placement policy '{other}'"))),
+        },
+        JsonValue::Object(_) => {
+            let body = v
+                .get("Interleave")
+                .ok_or_else(|| corrupt("unknown placement policy variant"))?;
+            Ok(PlacementPolicy::Interleave {
+                local: get_u32(body, "local")?,
+                remote: get_u32(body, "remote")?,
+            })
+        }
+        _ => Err(corrupt("malformed placement policy")),
+    }
+}
+
+fn allocation_from_value(v: &JsonValue) -> Result<AllocationRecord, SnapshotError> {
+    Ok(AllocationRecord {
+        handle: ObjectHandle(get_u32(v, "handle")?),
+        name: get_str(v, "name")?,
+        site: get_str(v, "site")?,
+        bytes: get_u64(v, "bytes")?,
+        order: get_u64(v, "order")? as usize,
+        policy: policy_from_value(field(v, "policy")?)?,
+        freed: get_bool(v, "freed")?,
+    })
+}
+
+fn placement_from_value(
+    v: &JsonValue,
+) -> Result<crate::address_space::ObjectPlacement, SnapshotError> {
+    Ok(crate::address_space::ObjectPlacement {
+        pages_local: get_u64(v, "pages_local")?,
+        pages_pool: get_u64(v, "pages_pool")?,
+        dram_lines_local: get_u64(v, "dram_lines_local")?,
+        dram_lines_pool: get_u64(v, "dram_lines_pool")?,
+    })
+}
+
+fn hotness_from_value(v: &JsonValue) -> Result<HotnessState, SnapshotError> {
+    Ok(HotnessState {
+        decay: get_f64(v, "decay")?,
+        epochs_completed: get_u64(v, "epochs_completed")?,
+        heat: get_arr(v, "heat")?
+            .iter()
+            .map(|e| {
+                Ok(HeatEntry {
+                    page: get_u64(e, "page")?,
+                    score: get_f64(e, "score")?,
+                    cur_lines: get_u64(e, "cur_lines")?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+        anchor_hot: u64_arr(v, "anchor_hot")?,
+    })
+}
+
+fn space_from_value(v: &JsonValue) -> Result<AddressSpaceState, SnapshotError> {
+    Ok(AddressSpaceState {
+        local_capacity_pages: get_opt_u64(v, "local_capacity_pages")?,
+        pool_capacity_pages: get_opt_u64(v, "pool_capacity_pages")?,
+        allocations: get_arr(v, "allocations")?
+            .iter()
+            .map(allocation_from_value)
+            .collect::<Result<_, _>>()?,
+        extents: get_arr(v, "extents")?
+            .iter()
+            .map(|e| {
+                Ok(ExtentState {
+                    first_page: get_u64(e, "first_page")?,
+                    page_count: get_u64(e, "page_count")?,
+                    handle: get_u32(e, "handle")?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+        placements: get_arr(v, "placements")?
+            .iter()
+            .map(placement_from_value)
+            .collect::<Result<_, _>>()?,
+        assigned_pages: u64_arr(v, "assigned_pages")?,
+        next_page: get_u64(v, "next_page")?,
+        page_tier: get_arr(v, "page_tier")?
+            .iter()
+            .map(|b| {
+                Ok(PageBinding {
+                    page: get_u64(b, "page")?,
+                    tier: tier_from_value(field(b, "tier")?)?,
+                    owner: get_u32(b, "owner")?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+        local_pages_used: get_u64(v, "local_pages_used")?,
+        pool_pages_used: get_u64(v, "pool_pages_used")?,
+        spilled_pages: get_u64(v, "spilled_pages")?,
+        live_bytes: get_u64(v, "live_bytes")?,
+        peak_bytes: get_u64(v, "peak_bytes")?,
+        histogram: get_arr(v, "histogram")?
+            .iter()
+            .map(|c| {
+                Ok(PageCount {
+                    page: get_u64(c, "page")?,
+                    count: get_u64(c, "count")?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+        hotness: match field(v, "hotness")? {
+            JsonValue::Null => None,
+            other => Some(hotness_from_value(other)?),
+        },
+    })
+}
+
+fn cache_level_from_value(v: &JsonValue) -> Result<CacheLevelState, SnapshotError> {
+    let state = CacheLevelState {
+        sets: get_u64(v, "sets")?,
+        ways: get_u64(v, "ways")?,
+        clock: get_u64(v, "clock")?,
+        tags: u64_arr(v, "tags")?,
+        stamps: u64_arr(v, "stamps")?,
+        flags: u64_arr(v, "flags")?,
+    };
+    let lines = state
+        .sets
+        .checked_mul(state.ways)
+        .ok_or_else(|| corrupt("cache geometry overflows"))? as usize;
+    if state.tags.len() != lines || state.stamps.len() != lines || state.flags.len() != lines {
+        return Err(corrupt("cache line arrays disagree with geometry"));
+    }
+    Ok(state)
+}
+
+fn cache_from_value(v: &JsonValue) -> Result<CacheState, SnapshotError> {
+    let pf = field(v, "prefetcher")?;
+    let replay = field(v, "replay")?;
+    Ok(CacheState {
+        l2: cache_level_from_value(field(v, "l2")?)?,
+        llc: cache_level_from_value(field(v, "llc")?)?,
+        prefetcher: PrefetcherState {
+            enabled: get_bool(pf, "enabled")?,
+            clock: get_u64(pf, "clock")?,
+            feedback_useful: get_u64(pf, "feedback_useful")?,
+            feedback_useless: get_u64(pf, "feedback_useless")?,
+            entries: get_arr(pf, "entries")?
+                .iter()
+                .map(|e| {
+                    Ok(StreamEntryState {
+                        page: get_u64(e, "page")?,
+                        last_line: get_u64(e, "last_line")?,
+                        run: get_u32(e, "run")?,
+                        stamp: get_u64(e, "stamp")?,
+                        valid: get_bool(e, "valid")?,
+                    })
+                })
+                .collect::<Result<_, SnapshotError>>()?,
+        },
+        replay: ReplayState {
+            enabled: get_bool(replay, "enabled")?,
+            windows_replayed_total: get_u64(replay, "windows_replayed_total")?,
+            passes_replayed_total: get_u64(replay, "passes_replayed_total")?,
+            stride_elems_replayed_total: get_u64(replay, "stride_elems_replayed_total")?,
+        },
+    })
+}
+
+fn tiering_spec_from_value(v: &JsonValue) -> Result<TieringSpec, SnapshotError> {
+    match v {
+        JsonValue::String(s) if s == "Static" => Ok(TieringSpec::Static),
+        JsonValue::Object(_) => {
+            if let Some(p) = v.get("HotPromote") {
+                return Ok(TieringSpec::HotPromote(HotPromote {
+                    epoch_lines: get_u64(p, "epoch_lines")?,
+                    promote_heat: get_f64(p, "promote_heat")?,
+                    demote_heat: get_f64(p, "demote_heat")?,
+                    decay: get_f64(p, "decay")?,
+                    cooldown_epochs: get_u64(p, "cooldown_epochs")?,
+                    max_moves_per_epoch: get_u64(p, "max_moves_per_epoch")?,
+                }));
+            }
+            if let Some(p) = v.get("PeriodicRebalance") {
+                return Ok(TieringSpec::PeriodicRebalance(PeriodicRebalance {
+                    epoch_lines: get_u64(p, "epoch_lines")?,
+                    period_epochs: get_u64(p, "period_epochs")?,
+                    top_k: get_u64(p, "top_k")?,
+                    decay: get_f64(p, "decay")?,
+                    cooldown_epochs: get_u64(p, "cooldown_epochs")?,
+                }));
+            }
+            Err(corrupt("unknown tiering spec variant"))
+        }
+        _ => Err(corrupt("malformed tiering spec")),
+    }
+}
+
+fn tiering_from_value(v: &JsonValue) -> Result<TieringState, SnapshotError> {
+    let stats = field(v, "stats")?;
+    Ok(TieringState {
+        spec: tiering_spec_from_value(field(v, "spec")?)?,
+        epoch_acc: get_u64(v, "epoch_acc")?,
+        epoch: get_u64(v, "epoch")?,
+        last_migrated: get_arr(v, "last_migrated")?
+            .iter()
+            .map(|e| {
+                Ok(PageEpoch {
+                    page: get_u64(e, "page")?,
+                    epoch: get_u64(e, "epoch")?,
+                })
+            })
+            .collect::<Result<_, SnapshotError>>()?,
+        stats: TieringStats {
+            epochs: get_u64(stats, "epochs")?,
+            promotions: get_u64(stats, "promotions")?,
+            demotions: get_u64(stats, "demotions")?,
+            ping_pongs_damped: get_u64(stats, "ping_pongs_damped")?,
+            skipped_capacity: get_u64(stats, "skipped_capacity")?,
+            hot_set_shifts: get_u64(stats, "hot_set_shifts")?,
+            dwell_epochs_total: get_u64(stats, "dwell_epochs_total")?,
+            open_dwell_epochs: get_u64(stats, "open_dwell_epochs")?,
+            hot_set_pages_max: get_u64(stats, "hot_set_pages_max")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use dismem_trace::MemoryEngine;
+
+    fn snapshotted_machine() -> (Machine, MachineSnapshot) {
+        let mut m = Machine::new(MachineConfig::test_config());
+        m.set_tiering_spec(&TieringSpec::HotPromote(HotPromote::new(4096, 8.0)));
+        let a = m.alloc("A", "t", 1 << 20);
+        m.phase_start("warm");
+        m.touch(a, 1 << 20);
+        m.read(a, 0, 1 << 20);
+        m.flops(100_000);
+        m.phase_end();
+        let snap = m.snapshot().expect("snapshot");
+        (m, snap)
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let (_, snap) = snapshotted_machine();
+        let json = snap.to_json();
+        let back = MachineSnapshot::from_json(&json).expect("parse own JSON");
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn binary_round_trip_is_byte_identical() {
+        let (_, snap) = snapshotted_machine();
+        let key = 0xfeed_face_cafe_beefu64;
+        let bytes = snap.to_snapshot_bytes(key);
+        let back = MachineSnapshot::from_snapshot_bytes(&bytes, key).expect("decode");
+        assert_eq!(back.to_json(), snap.to_json());
+        assert_eq!(back.to_snapshot_bytes(key), bytes);
+    }
+
+    #[test]
+    fn foreign_digest_is_typed() {
+        let (_, snap) = snapshotted_machine();
+        let bytes = snap.to_snapshot_bytes(1);
+        match MachineSnapshot::from_snapshot_bytes(&bytes, 2) {
+            Err(SnapshotError::ForeignDigest {
+                found: 1,
+                expected: 2,
+            }) => {}
+            other => panic!("expected ForeignDigest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let (_, snap) = snapshotted_machine();
+        let mut bytes = snap.to_snapshot_bytes(1);
+        bytes[4] ^= 0xff;
+        match MachineSnapshot::from_snapshot_bytes(&bytes, 1) {
+            Err(SnapshotError::VersionMismatch { expected, .. }) => {
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let (_, snap) = snapshotted_machine();
+        let key = 7;
+        let bytes = snap.to_snapshot_bytes(key);
+        for cut in [
+            0,
+            3,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            assert!(
+                MachineSnapshot::from_snapshot_bytes(&bytes[..cut], key).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let (_, snap) = snapshotted_machine();
+        let mut bytes = snap.to_snapshot_bytes(7);
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN - 8) / 2;
+        bytes[mid] ^= 0x55;
+        match MachineSnapshot::from_snapshot_bytes(&bytes, 7) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("checksum")),
+            other => panic!("expected Corrupt(checksum), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_resumes_bit_identically() {
+        // The full mid-run/pipeline matrix lives in tests/properties.rs; this
+        // is the module-level smoke: restore + finish == plain finish.
+        let (mut original, snap) = snapshotted_machine();
+        let mut restored = Machine::restore(&snap).expect("restore");
+        let a = ObjectHandle(0);
+        original.read(a, 0, 1 << 20);
+        restored.read(a, 0, 1 << 20);
+        assert_eq!(original.finish(), restored.finish());
+    }
+
+    #[test]
+    fn raw_policy_box_is_unsupported() {
+        let mut m = Machine::new(MachineConfig::test_config());
+        m.set_tiering(Box::new(crate::tiering::Static));
+        assert_eq!(m.snapshot().unwrap_err(), SnapshotError::UnsupportedPolicy);
+    }
+
+    #[test]
+    fn fnv_digest_matches_config_digest_scheme() {
+        let config = MachineConfig::test_config();
+        let mut json = String::new();
+        Serialize::serialize_json(&config, &mut json);
+        assert_eq!(fnv1a64(json.as_bytes()), config.config_digest());
+    }
+}

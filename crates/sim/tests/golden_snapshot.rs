@@ -1,0 +1,225 @@
+//! Golden-snapshot tests: the binary snapshot codec is a committed contract.
+//!
+//! Mirrors the `golden_trace` suite in `dismem-trace`: reference byte vectors
+//! pin the wire format of the binary value codec (tags, little-endian length
+//! prefixes, lossless full-range `u64`), and a committed machine snapshot is
+//! byte-compared against a freshly captured one. Changing a serialized field,
+//! the field order, the envelope layout, or the codec's number classification
+//! fails these tests — which is the point: snapshot files on disk outlive the
+//! binary that wrote them, and `SNAPSHOT_VERSION` must be bumped (and the
+//! fixtures regenerated via `regenerate_golden_fixtures`) on any such change.
+
+use dismem_sim::snapshot::fnv1a64;
+use dismem_sim::tiering::HotPromote;
+use dismem_sim::{Machine, MachineConfig, MachineSnapshot, TieringSpec, SNAPSHOT_VERSION};
+use dismem_trace::{MemoryEngine, PAGE_SIZE};
+use serde_json::{decode_value, encode_value, parse_value, render_value, JsonValue};
+
+const GOLDEN_VALUE_BIN: &[u8] = include_bytes!("golden/value.bin");
+const GOLDEN_VALUE_JSON: &str = include_str!("golden/value.json");
+const GOLDEN_SNAPSHOT: &[u8] = include_bytes!("golden/machine.snap");
+
+/// The key digest the golden machine snapshot was written under.
+const GOLDEN_DIGEST: u64 = 0xD15C_AFE5_EED0_0001;
+
+/// A handcrafted document covering every wire tag and the number classes the
+/// codec distinguishes: full-range `u64` (above 2^53, where an `f64` round
+/// trip would corrupt), negative integers, integral and fractional floats,
+/// and exponent-notation numeric text only a foreign writer produces.
+fn reference_value() -> JsonValue {
+    JsonValue::Object(vec![
+        ("null".to_string(), JsonValue::Null),
+        ("no".to_string(), JsonValue::Bool(false)),
+        ("yes".to_string(), JsonValue::Bool(true)),
+        (
+            "u64_max".to_string(),
+            JsonValue::Number("18446744073709551615".to_string()),
+        ),
+        (
+            "beyond_2_53".to_string(),
+            JsonValue::Number("9007199254740993".to_string()),
+        ),
+        (
+            "i64_min".to_string(),
+            JsonValue::Number("-9223372036854775808".to_string()),
+        ),
+        ("float".to_string(), JsonValue::Number("1.5".to_string())),
+        ("whole".to_string(), JsonValue::Number("42.0".to_string())),
+        (
+            "foreign_exponent".to_string(),
+            JsonValue::Number("1e3".to_string()),
+        ),
+        (
+            "text".to_string(),
+            JsonValue::String("snap \"shot\" — δ".to_string()),
+        ),
+        (
+            "list".to_string(),
+            JsonValue::Array(vec![
+                JsonValue::Number("0.0".to_string()),
+                JsonValue::String(String::new()),
+                JsonValue::Array(Vec::new()),
+                JsonValue::Object(Vec::new()),
+            ]),
+        ),
+    ])
+}
+
+#[test]
+fn reference_value_bytes_match_the_golden_file() {
+    assert_eq!(
+        encode_value(&reference_value()),
+        GOLDEN_VALUE_BIN,
+        "binary codec output changed; bump SNAPSHOT_VERSION and regenerate"
+    );
+}
+
+#[test]
+fn golden_value_bytes_decode_to_the_golden_json() {
+    let decoded = decode_value(GOLDEN_VALUE_BIN).expect("golden bytes decode");
+    assert_eq!(render_value(&decoded), GOLDEN_VALUE_JSON.trim_end());
+    // And the text round-trips back through parse → encode to the same bytes.
+    let reparsed = parse_value(GOLDEN_VALUE_JSON.trim_end()).expect("golden json parses");
+    assert_eq!(encode_value(&reparsed), GOLDEN_VALUE_BIN);
+}
+
+/// The wire format is little-endian by definition: a minimal document is
+/// pinned byte by byte, so a porting mistake (native-endian writes) fails
+/// loudly rather than producing fixtures that only round-trip on one host.
+#[test]
+fn endianness_is_pinned_byte_for_byte() {
+    let doc = JsonValue::Object(vec![(
+        "a".to_string(),
+        JsonValue::Number("258".to_string()),
+    )]);
+    assert_eq!(
+        encode_value(&doc),
+        vec![
+            0x09, // object tag
+            0x01, 0x00, 0x00, 0x00, // entry count 1, u32 LE
+            0x01, 0x00, 0x00, 0x00, // key byte length 1, u32 LE (keys carry no tag)
+            b'a', // key bytes
+            0x03, // u64 tag
+            0x02, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 258, u64 LE
+        ]
+    );
+}
+
+/// Full-range integers survive the binary round-trip digit for digit —
+/// the property the text codec's `f64` path cannot provide above 2^53.
+#[test]
+fn u64_beyond_2_53_round_trips_exactly() {
+    for raw in [
+        "9007199254740993",     // 2^53 + 1: first integer an f64 cannot hold
+        "18446744073709551615", // u64::MAX
+        "12157665459056928801", // a config-digest-sized value
+        "-9223372036854775808", // i64::MIN
+    ] {
+        let doc = JsonValue::Array(vec![JsonValue::Number(raw.to_string())]);
+        let decoded = decode_value(&encode_value(&doc)).expect("round trip");
+        assert_eq!(render_value(&decoded), format!("[{raw}]"));
+    }
+}
+
+/// A deterministic machine with non-trivial state in every snapshotted
+/// subsystem: spilled pages, live cache sets, a trained prefetcher, replay
+/// lifetime totals, migration history and an open phase.
+fn golden_machine() -> Machine {
+    let config = MachineConfig::test_config().with_local_capacity(10 * PAGE_SIZE);
+    let mut m = Machine::new(config);
+    m.set_tiering_spec(&TieringSpec::HotPromote(HotPromote {
+        demote_heat: 4.0,
+        ..HotPromote::new(2048, 16.0)
+    }));
+    let cold = m.alloc("cold", "golden", 10 * PAGE_SIZE);
+    let hot = m.alloc("hot", "golden", 12 * PAGE_SIZE);
+    m.phase_start("init");
+    m.touch(cold, 10 * PAGE_SIZE);
+    m.touch(hot, 12 * PAGE_SIZE);
+    m.phase_end();
+    m.phase_start("loop");
+    for _ in 0..6 {
+        m.read(hot, 0, 12 * PAGE_SIZE);
+        m.flops(10_000);
+    }
+    // The phase stays open: the snapshot captures mid-phase state.
+    m
+}
+
+#[test]
+fn machine_snapshot_bytes_match_the_golden_file() {
+    let snapshot = golden_machine().snapshot().expect("snapshot");
+    assert_eq!(
+        snapshot.to_snapshot_bytes(GOLDEN_DIGEST),
+        GOLDEN_SNAPSHOT,
+        "snapshot bytes changed; bump SNAPSHOT_VERSION and regenerate the fixture"
+    );
+}
+
+#[test]
+fn committed_snapshot_restores_and_finishes_bit_identically() {
+    let decoded = MachineSnapshot::from_snapshot_bytes(GOLDEN_SNAPSHOT, GOLDEN_DIGEST)
+        .expect("committed fixture must keep loading");
+    assert_eq!(decoded.config().config_digest(), {
+        let mut live = golden_machine();
+        let snap = live.snapshot().unwrap();
+        snap.config().config_digest()
+    });
+    let mut restored = Machine::restore(&decoded).expect("restore");
+    restored.phase_end();
+    let from_fixture = restored.finish();
+    let mut live = golden_machine();
+    live.phase_end();
+    assert_eq!(
+        from_fixture,
+        live.finish(),
+        "fixture restore must finish identically to the live machine"
+    );
+}
+
+#[test]
+fn golden_envelope_header_is_pinned() {
+    assert_eq!(&GOLDEN_SNAPSHOT[0..4], b"DMSN", "magic");
+    assert_eq!(
+        u32::from_le_bytes(GOLDEN_SNAPSHOT[4..8].try_into().unwrap()),
+        SNAPSHOT_VERSION,
+        "fixture written by a different version; regenerate"
+    );
+    assert_eq!(
+        u64::from_le_bytes(GOLDEN_SNAPSHOT[8..16].try_into().unwrap()),
+        GOLDEN_DIGEST,
+        "key digest field"
+    );
+    let payload_len = u64::from_le_bytes(GOLDEN_SNAPSHOT[16..24].try_into().unwrap()) as usize;
+    assert_eq!(GOLDEN_SNAPSHOT.len(), 24 + payload_len + 8, "length field");
+    let payload = &GOLDEN_SNAPSHOT[24..24 + payload_len];
+    assert_eq!(
+        u64::from_le_bytes(GOLDEN_SNAPSHOT[24 + payload_len..].try_into().unwrap()),
+        fnv1a64(payload),
+        "trailing checksum"
+    );
+}
+
+/// Regenerates the committed fixtures in `tests/golden/`. Run explicitly
+/// after an intentional format change (with a `SNAPSHOT_VERSION` bump):
+///
+/// ```text
+/// cargo test -p dismem-sim --test golden_snapshot -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes the golden fixtures; run only to regenerate them"]
+fn regenerate_golden_fixtures() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&dir).expect("create golden dir");
+    let value = reference_value();
+    std::fs::write(dir.join("value.bin"), encode_value(&value)).expect("write value.bin");
+    let mut json = render_value(&value);
+    json.push('\n');
+    std::fs::write(dir.join("value.json"), json).expect("write value.json");
+    let snapshot = golden_machine().snapshot().expect("snapshot");
+    std::fs::write(
+        dir.join("machine.snap"),
+        snapshot.to_snapshot_bytes(GOLDEN_DIGEST),
+    )
+    .expect("write machine.snap");
+}

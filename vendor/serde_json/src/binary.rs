@@ -1,0 +1,390 @@
+//! Compact length-prefixed binary encoding of [`JsonValue`] trees.
+//!
+//! The JSON text path ([`crate::to_string`] / [`parse_value`]) is the
+//! authoritative serialization format; this module is a byte-for-byte
+//! reversible transport encoding for it. [`encode_value`] classifies every
+//! `Number` by re-rendering its canonical text form, so decoding regenerates
+//! the exact text the writer produced: full-range `u64` digests and seeds
+//! survive (no `f64` round-trip), and `f64` payloads are carried as IEEE-754
+//! bit patterns. All multi-byte integers are little-endian by definition —
+//! the format is identical on every host.
+//!
+//! Wire grammar (one tag byte, then the payload):
+//!
+//! | tag  | value                                                    |
+//! |------|----------------------------------------------------------|
+//! | 0x00 | null                                                     |
+//! | 0x01 | false                                                    |
+//! | 0x02 | true                                                     |
+//! | 0x03 | u64, 8 bytes LE                                          |
+//! | 0x04 | i64, 8 bytes LE (negative integers only)                 |
+//! | 0x05 | f64 bit pattern, 8 bytes LE                              |
+//! | 0x06 | number as text: u32 LE byte length + UTF-8 bytes         |
+//! | 0x07 | string: u32 LE byte length + UTF-8 bytes                 |
+//! | 0x08 | array: u32 LE element count + elements                   |
+//! | 0x09 | object: u32 LE entry count + (key string, value) pairs   |
+//!
+//! Tag 0x06 exists only as a fallback for numeric text this crate's writer
+//! never produces (e.g. exponent notation from a foreign file); everything
+//! the stub serializer emits classifies as 0x03/0x04/0x05.
+
+use crate::read::JsonValue;
+use std::fmt;
+
+/// Decoding error: malformed or truncated binary input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_U64: u8 = 0x03;
+const TAG_I64: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_NUM_TEXT: u8 = 0x06;
+const TAG_STRING: u8 = 0x07;
+const TAG_ARRAY: u8 = 0x08;
+const TAG_OBJECT: u8 = 0x09;
+
+/// Maximum nesting depth accepted by [`decode_value`]; prevents unbounded
+/// recursion on corrupt input.
+const MAX_DEPTH: usize = 512;
+
+/// Renders `v` exactly as the stub `serde::Serialize` impl for `f64` does,
+/// so binary round-trips regenerate byte-identical JSON text.
+pub fn render_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{}", v)
+    }
+}
+
+/// Renders a [`JsonValue`] back to compact JSON text, inverting
+/// [`crate::parse_value`]. Strings are escaped with the same rules as the
+/// stub serializer, so parse → render round-trips byte-identically on any
+/// document this crate's writer produced.
+pub fn render_value(value: &JsonValue) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Number(raw) => out.push_str(raw),
+        JsonValue::String(s) => serde::ser::write_str(out, s),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                serde::ser::write_str(out, key);
+                out.push(':');
+                render_into(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Encodes a [`JsonValue`] tree as length-prefixed little-endian bytes.
+pub fn encode_value(value: &JsonValue) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+fn encode_into(value: &JsonValue, out: &mut Vec<u8>) {
+    match value {
+        JsonValue::Null => out.push(TAG_NULL),
+        JsonValue::Bool(false) => out.push(TAG_FALSE),
+        JsonValue::Bool(true) => out.push(TAG_TRUE),
+        JsonValue::Number(raw) => encode_number(raw, out),
+        JsonValue::String(s) => {
+            out.push(TAG_STRING);
+            encode_bytes(s.as_bytes(), out);
+        }
+        JsonValue::Array(items) => {
+            out.push(TAG_ARRAY);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode_into(item, out);
+            }
+        }
+        JsonValue::Object(entries) => {
+            out.push(TAG_OBJECT);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (key, item) in entries {
+                encode_bytes(key.as_bytes(), out);
+                encode_into(item, out);
+            }
+        }
+    }
+}
+
+fn encode_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Classifies raw numeric text into the narrowest lossless wire form. The
+/// canonical-text comparison guarantees `decode` regenerates `raw` exactly;
+/// anything that does not round-trip through a typed form falls back to the
+/// text tag.
+fn encode_number(raw: &str, out: &mut Vec<u8>) {
+    let integral = !raw.contains(['.', 'e', 'E']);
+    if integral {
+        if let Some(stripped) = raw.strip_prefix('-') {
+            if let Ok(v) = raw.parse::<i64>() {
+                if stripped.parse::<u64>().is_ok() && v.to_string() == raw {
+                    out.push(TAG_I64);
+                    out.extend_from_slice(&v.to_le_bytes());
+                    return;
+                }
+            }
+        } else if let Ok(v) = raw.parse::<u64>() {
+            if v.to_string() == raw {
+                out.push(TAG_U64);
+                out.extend_from_slice(&v.to_le_bytes());
+                return;
+            }
+        }
+    } else if let Ok(v) = raw.parse::<f64>() {
+        if v.is_finite() && render_f64(v) == raw {
+            out.push(TAG_F64);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+            return;
+        }
+    }
+    out.push(TAG_NUM_TEXT);
+    encode_bytes(raw.as_bytes(), out);
+}
+
+/// Decodes bytes produced by [`encode_value`] back into a [`JsonValue`].
+/// The full input must be consumed; trailing bytes are an error.
+pub fn decode_value(bytes: &[u8]) -> Result<JsonValue, BinaryError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let value = cursor.decode(0)?;
+    if cursor.pos != bytes.len() {
+        return Err(BinaryError {
+            message: format!("{} trailing bytes after value", bytes.len() - cursor.pos),
+            offset: cursor.pos,
+        });
+    }
+    Ok(value)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn fail<T>(&self, message: impl Into<String>) -> Result<T, BinaryError> {
+        Err(BinaryError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinaryError> {
+        if self.bytes.len() - self.pos < n {
+            return self.fail(format!(
+                "truncated input: need {} bytes, have {}",
+                n,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_u32(&mut self) -> Result<u32, BinaryError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, BinaryError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn take_string(&mut self) -> Result<String, BinaryError> {
+        let len = self.take_u32()? as usize;
+        let start = self.pos;
+        let raw = self.take(len)?;
+        match std::str::from_utf8(raw) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err(BinaryError {
+                message: "invalid UTF-8 in string payload".to_string(),
+                offset: start,
+            }),
+        }
+    }
+
+    fn decode(&mut self, depth: usize) -> Result<JsonValue, BinaryError> {
+        if depth > MAX_DEPTH {
+            return self.fail("nesting depth limit exceeded");
+        }
+        let tag = self.take(1)?[0];
+        match tag {
+            TAG_NULL => Ok(JsonValue::Null),
+            TAG_FALSE => Ok(JsonValue::Bool(false)),
+            TAG_TRUE => Ok(JsonValue::Bool(true)),
+            TAG_U64 => {
+                let v = self.take_u64()?;
+                Ok(JsonValue::Number(v.to_string()))
+            }
+            TAG_I64 => {
+                let v = self.take_u64()? as i64;
+                Ok(JsonValue::Number(v.to_string()))
+            }
+            TAG_F64 => {
+                let v = f64::from_bits(self.take_u64()?);
+                Ok(JsonValue::Number(render_f64(v)))
+            }
+            TAG_NUM_TEXT => {
+                let raw = self.take_string()?;
+                Ok(JsonValue::Number(raw))
+            }
+            TAG_STRING => Ok(JsonValue::String(self.take_string()?)),
+            TAG_ARRAY => {
+                let count = self.take_u32()? as usize;
+                let mut items = Vec::new();
+                for _ in 0..count {
+                    items.push(self.decode(depth + 1)?);
+                }
+                Ok(JsonValue::Array(items))
+            }
+            TAG_OBJECT => {
+                let count = self.take_u32()? as usize;
+                let mut entries = Vec::new();
+                for _ in 0..count {
+                    let key = self.take_string()?;
+                    let value = self.decode(depth + 1)?;
+                    entries.push((key, value));
+                }
+                Ok(JsonValue::Object(entries))
+            }
+            other => self.fail(format!("unknown tag byte 0x{:02x}", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_value;
+
+    fn roundtrip(text: &str) {
+        let value = parse_value(text).expect("valid JSON");
+        let bytes = encode_value(&value);
+        let back = decode_value(&bytes).expect("valid binary");
+        assert_eq!(back, value, "value mismatch for {text}");
+        assert_eq!(render_value(&back), text, "text mismatch for {text}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        roundtrip("null");
+        roundtrip("true");
+        roundtrip("false");
+        roundtrip("0");
+        roundtrip("-1");
+        roundtrip("18446744073709551615");
+        roundtrip("-9223372036854775808");
+        roundtrip("0.5");
+        roundtrip("1.0");
+        roundtrip("-123456.78125");
+        roundtrip("\"hello \\\"world\\\"\\n\"");
+    }
+
+    #[test]
+    fn u64_above_2_53_is_lossless() {
+        let digest = 0xdead_beef_dead_beefu64;
+        let value = JsonValue::Number(digest.to_string());
+        let bytes = encode_value(&value);
+        assert_eq!(bytes[0], 0x03, "must take the u64 path, not f64");
+        let back = decode_value(&bytes).expect("valid binary");
+        assert_eq!(back.as_u64(), Some(digest));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        roundtrip("[]");
+        roundtrip("{}");
+        roundtrip("[1,2,3]");
+        roundtrip("{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}");
+    }
+
+    #[test]
+    fn endianness_is_pinned() {
+        let bytes = encode_value(&JsonValue::Number("258".to_string()));
+        assert_eq!(bytes, vec![0x03, 0x02, 0x01, 0, 0, 0, 0, 0, 0]);
+        let s = encode_value(&JsonValue::String("ab".to_string()));
+        assert_eq!(s, vec![0x07, 0x02, 0x00, 0x00, 0x00, b'a', b'b']);
+    }
+
+    #[test]
+    fn exotic_number_text_falls_back() {
+        let value = JsonValue::Number("1e3".to_string());
+        let bytes = encode_value(&value);
+        assert_eq!(bytes[0], TAG_NUM_TEXT);
+        assert_eq!(decode_value(&bytes).expect("valid"), value);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = encode_value(&parse_value("{\"a\":[1,2,3]}").unwrap());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_value(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = encode_value(&JsonValue::Null);
+        bytes.push(0);
+        assert!(decode_value(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        assert!(decode_value(&[0x7f]).is_err());
+    }
+}

@@ -10,8 +10,10 @@
 //! consumers (the campaign journal) that must read back what this crate
 //! wrote.
 
+pub mod binary;
 pub mod read;
 
+pub use binary::{decode_value, encode_value, render_value, BinaryError};
 pub use read::{parse_value, JsonValue, ParseError};
 
 use std::fmt;
